@@ -1,0 +1,22 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's tables/figures at scaled
+problem sizes (pure-Python simulation cannot run 64^3 GEMM in bench
+time). Set ``REPRO_SCALE`` / ``REPRO_SCHED_ITERS`` / ``REPRO_DSE_ITERS``
+to push closer to paper scale.
+"""
+
+import os
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.1"))
+SCHED_ITERS = int(os.environ.get("REPRO_SCHED_ITERS", "120"))
+DSE_ITERS = int(os.environ.get("REPRO_DSE_ITERS", "12"))
+DSE_SCALE = float(os.environ.get("REPRO_DSE_SCALE", "0.05"))
+DSE_SCHED_ITERS = int(os.environ.get("REPRO_DSE_SCHED_ITERS", "50"))
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run a harness driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(
+        fn, kwargs=kwargs, iterations=1, rounds=1, warmup_rounds=0
+    )

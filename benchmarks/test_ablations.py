@@ -1,0 +1,157 @@
+"""Ablations of the design decisions DESIGN.md calls out.
+
+Not figures from the paper, but quantified versions of its design
+arguments:
+
+* delay-FIFO depth trades area against schedulability of long-latency
+  static dataflows (the [64] argument in Section III-B);
+* the fixed-FSM alternate control core (Section III-C potential
+  feature) trades programmability for area;
+* parallel accumulator chains (partial sums) recover the dependence-
+  limited activity ratio of floating-point reductions (Section V-B).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.adg import topologies
+from repro.adg.topologies import FP_OPS, INT_OPS, build_mesh
+from repro.compiler.kernel import VariantParams
+from repro.estimation import estimate_area_power
+from repro.estimation.perf_model import PerformanceModel
+from repro.scheduler import SpatialScheduler
+from repro.utils.rng import DeterministicRng
+from repro.workloads import kernel as make_kernel
+
+
+def delay_depth_sweep():
+    """Skew violations and fabric area versus delay-FIFO depth for the
+    qr prologue (sqrt/divide chains with ~30-cycle skews)."""
+    scope = make_kernel("qr", 0.25).build(VariantParams(unroll=2))
+    rows = []
+    for depth in (4, 8, 16, 32):
+        adg = build_mesh(
+            5, 4, ops=INT_OPS | FP_OPS, delay_fifo_depth=depth,
+        )
+        scheduler = SpatialScheduler(
+            adg, rng=DeterministicRng(("delay", depth)), max_iters=150,
+        )
+        _, cost = scheduler.schedule(scope)
+        area, _ = estimate_area_power(adg)
+        rows.append({
+            "depth": depth,
+            "skew_violations": cost.skew_violations,
+            "legal": cost.is_legal,
+            "area_mm2": area,
+        })
+    return rows
+
+
+def test_ablation_delay_fifo_depth(benchmark):
+    rows = run_once(benchmark, delay_depth_sweep)
+    print()
+    for row in rows:
+        print(f"  depth {row['depth']:3d}: skew={row['skew_violations']:3d} "
+              f"legal={row['legal']} area={row['area_mm2']:.3f} mm^2")
+    # Depth buys schedulability...
+    assert not rows[0]["legal"]          # depth 4 cannot balance sqrt/div
+    assert rows[-1]["legal"]             # depth 32 can
+    assert rows[0]["skew_violations"] > rows[-1]["skew_violations"]
+    # ...and costs area monotonically.
+    areas = [row["area_mm2"] for row in rows]
+    assert areas == sorted(areas)
+
+
+def fsm_core_ablation():
+    adg = topologies.softbrain()
+    programmable_area, programmable_power = estimate_area_power(adg)
+    adg.control_core().programmable = False
+    fsm_area, fsm_power = estimate_area_power(adg)
+    return {
+        "programmable_area": programmable_area,
+        "fsm_area": fsm_area,
+        "area_saved_pct": 100 * (1 - fsm_area / programmable_area),
+        "power_saved_pct": 100 * (1 - fsm_power / programmable_power),
+    }
+
+
+def test_ablation_fsm_control_core(benchmark):
+    stats = run_once(benchmark, fsm_core_ablation)
+    print()
+    print(f"  programmable core: {stats['programmable_area']:.3f} mm^2; "
+          f"FSM: {stats['fsm_area']:.3f} mm^2 "
+          f"({stats['area_saved_pct']:.1f}% area, "
+          f"{stats['power_saved_pct']:.1f}% power saved)")
+    assert stats["fsm_area"] < stats["programmable_area"]
+    assert 1.0 <= stats["area_saved_pct"] <= 25.0
+
+
+def partial_sums_ablation():
+    """Dependence-limited fp reduction: activity recovers with chains."""
+    workload = make_kernel("classifier", 0.1)
+    model = PerformanceModel()
+    rows = []
+    for chains in (1, 2, 4):
+        scope = workload.build(VariantParams(unroll=2))
+        mac = scope.regions[0]
+        mac.metadata["partial_sums"] = chains
+        estimate = model.estimate(scope)
+        rows.append({
+            "chains": chains,
+            "activity": estimate.regions[mac.name].activity,
+            "cycles": estimate.cycles,
+        })
+    return rows
+
+
+def test_ablation_partial_sums(benchmark):
+    rows = run_once(benchmark, partial_sums_ablation)
+    print()
+    for row in rows:
+        print(f"  chains {row['chains']}: activity {row['activity']:.2f} "
+              f"cycles {row['cycles']:.0f}")
+    activities = [row["activity"] for row in rows]
+    assert activities == sorted(activities)
+    assert activities[0] < 1.0      # serial fadd accumulation is limited
+    assert activities[-1] >= 0.99   # enough chains hide the latency
+    assert rows[-1]["cycles"] < rows[0]["cycles"]
+
+
+def coalescing_ablation():
+    """The Section III-C memory-coalescing potential feature: the fft
+    manual peephole done in hardware."""
+    from repro.adg import topologies
+    from repro.compiler import compile_kernel
+    from repro.sim import simulate
+    from repro.utils.rng import DeterministicRng
+
+    workload = make_kernel("fft", 0.05)
+    results = {}
+    for label, coalescing in (("plain", False), ("coalescing", True)):
+        adg = topologies.softbrain()
+        for memory in adg.memories():
+            memory.coalescing = coalescing
+        compiled = compile_kernel(
+            workload, adg, rng=DeterministicRng(0), max_iters=120
+        )
+        memory_state = workload.make_memory()
+        results[label] = {
+            "cycles": simulate(adg, compiled, memory_state).cycles,
+            "area": estimate_area_power(adg)[0],
+        }
+    return results
+
+
+def test_ablation_memory_coalescing(benchmark):
+    stats = run_once(benchmark, coalescing_ablation)
+    print()
+    for label, row in stats.items():
+        print(f"  {label:10s}: {row['cycles']:6d} cycles  "
+              f"{row['area']:.3f} mm^2")
+    speedup = stats["plain"]["cycles"] / stats["coalescing"]["cycles"]
+    print(f"  fft speedup from hardware coalescing: {speedup:.2f}x")
+    # The coalescing unit recovers most of the manual fft peephole...
+    assert speedup >= 1.3
+    # ...at a small area cost.
+    assert stats["coalescing"]["area"] > stats["plain"]["area"]
+    assert stats["coalescing"]["area"] < stats["plain"]["area"] * 1.05

@@ -1,0 +1,46 @@
+"""Figure 10: compiler vs manually tuned performance.
+
+Paper: the compiler reaches ~80-89% of manual performance across five
+accelerators; fft is the outlier at ~2x slower (the manual version peels
+and coalesces small-stride stages).
+"""
+
+from conftest import SCALE, SCHED_ITERS, run_once
+
+from repro.harness import fig10
+from repro.harness.report import format_table
+
+MATRIX = {
+    "softbrain": list(fig10.TABLE1_KERNELS),
+    "triggered": ["mm", "join", "histogram"],
+    "spu": ["md", "join", "histogram"],
+    "revel": ["qr", "chol", "fft"],
+}
+
+
+def test_fig10_compiler_vs_manual(benchmark):
+    rows, summary = run_once(
+        benchmark, fig10.run,
+        matrix=MATRIX, scale=SCALE, sched_iters=SCHED_ITERS,
+    )
+    print()
+    print(format_table(
+        rows,
+        columns=["accel", "workload", "compiled_cycles", "manual_cycles",
+                 "relative"],
+        title="Figure 10: manual/compiled cycle ratio (1.0 = parity)",
+    ))
+    print(f"geomean compiled-vs-manual: {summary['mean_relative']:.2f} "
+          f"(paper: 0.80-0.89)")
+    # Every pair must compile and simulate.
+    assert summary["succeeded"] == summary["pairs"], [
+        r for r in rows if "error" in r
+    ]
+    # Shape: the compiler lands within 60-110% of manual on average.
+    assert 0.60 <= summary["mean_relative"] <= 1.10
+    # The fft outlier mechanism: manual is substantially faster.
+    assert summary["fft_outlier"] is not None
+    assert summary["fft_outlier"] <= 0.8, (
+        "fft manual version should beat the compiler via request "
+        "coalescing"
+    )

@@ -1,0 +1,29 @@
+"""Figure 13: configuration-path length vs the ceil(n/p) ideal.
+
+Paper: mean ~1.4x overhead across 2x2..5x5 meshes with 3/6/9 paths.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig13
+from repro.harness.report import format_table
+
+
+def test_fig13_config_path_overhead(benchmark):
+    rows, summary = run_once(benchmark, fig13.run)
+    print()
+    print(format_table(rows, title="Figure 13: config paths"))
+    print(f"mean ratio {summary['mean_ratio']:.2f} (paper ~1.4x)")
+    assert summary["all_covered"], "some component missed every path"
+    # Shape check: within the paper's ballpark (1.0 .. 2.2x mean).
+    assert 1.0 <= summary["mean_ratio"] <= 2.2
+    # More paths never lengthen the longest walk for a fixed mesh.
+    by_mesh = {}
+    for row in rows:
+        by_mesh.setdefault(row["mesh"], []).append(
+            (row["paths"], row["longest"])
+        )
+    for mesh, entries in by_mesh.items():
+        entries.sort()
+        lengths = [length for _, length in entries]
+        assert lengths[0] >= lengths[-1], mesh

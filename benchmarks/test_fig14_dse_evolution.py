@@ -1,0 +1,38 @@
+"""Figure 14: DSE evolution of area/power/objective for three workload
+sets from the same full-capability initial hardware.
+
+Paper: mean 42% area saved, ~12x objective improvement over the initial
+hardware (after ~750-iteration runs; this bench runs a scaled number of
+iterations and checks direction + magnitude floor).
+"""
+
+from conftest import DSE_ITERS, DSE_SCALE, DSE_SCHED_ITERS, run_once
+
+from repro.harness import fig14
+from repro.harness.report import format_table
+
+
+def test_fig14_dse_trajectories(benchmark):
+    rows, summary = run_once(
+        benchmark, fig14.run,
+        scale=DSE_SCALE, dse_iters=DSE_ITERS,
+        sched_iters=DSE_SCHED_ITERS,
+    )
+    print()
+    accepted = [r for r in rows if r["accepted"]]
+    print(format_table(
+        accepted,
+        title="Figure 14: accepted DSE steps (area/power/objective)",
+    ))
+    for set_name, stats in summary["per_set"].items():
+        print(f"  {set_name}: area saving {stats['area_saving']*100:.0f}%  "
+              f"objective x{stats['objective_improvement']:.2f}")
+    print(f"mean area saving {summary['mean_area_saving']*100:.0f}% "
+          f"(paper: 42%)")
+    # Direction: exploration saves area and improves the objective.
+    assert summary["mean_area_saving"] >= 0.10
+    assert summary["mean_objective_improvement"] >= 1.2
+    # Every set produced an accepted trajectory.
+    assert len(summary["per_set"]) == 3
+    for stats in summary["per_set"].values():
+        assert stats["final_area"] <= stats["initial_area"] * 1.05

@@ -1,0 +1,69 @@
+"""Figure 4 + Section III-C: design-space expressiveness.
+
+The paper's Figure 4 shows example ADGs for prior architectures with
+increasing topological generality (CCA has the fewest switches,
+Softbrain the most flexibility); Section III-C additionally discusses
+approximating TABLA and Plasticine. This bench instantiates the whole
+catalogue, validates every design against the composition rules, and
+checks the distinguishing characteristic of each.
+"""
+
+from conftest import run_once
+
+from repro.adg import topologies, validate_adg
+from repro.adg.components import Resourcing, Scheduling
+from repro.harness.report import format_table
+
+
+def build_catalogue():
+    rows = []
+    for name, builder in sorted(topologies.PRESETS.items()):
+        adg = builder()
+        warnings = validate_adg(adg, strict=False)
+        stats = adg.stats()
+        features = adg.feature_set()
+        rows.append({
+            "design": name,
+            "pes": stats["pes"],
+            "switches": stats["switches"],
+            "links": stats["links"],
+            "dynamic": features.dynamic,
+            "shared": features.shared,
+            "indirect": features.indirect,
+            "valid": not warnings,
+            "switch_per_pe": stats["switches"] / max(1, stats["pes"]),
+        })
+    return rows
+
+
+def test_fig4_design_space_catalogue(benchmark):
+    rows = run_once(benchmark, build_catalogue)
+    print()
+    print(format_table(
+        rows,
+        columns=["design", "pes", "switches", "links", "dynamic",
+                 "shared", "indirect", "valid"],
+        title="Figure 4 / Section III-C: expressible architectures",
+    ))
+    by_name = {row["design"]: row for row in rows}
+    assert all(row["valid"] for row in rows)
+    # Topological generality ordering: CCA has the least network per PE,
+    # the full meshes the most (Figure 4's flexibility-vs-overhead axis).
+    assert by_name["cca"]["switch_per_pe"] < \
+        by_name["softbrain"]["switch_per_pe"]
+    # Execution-model coverage across the catalogue:
+    assert not by_name["softbrain"]["dynamic"]          # static/dedicated
+    assert by_name["triggered"]["dynamic"]              # dynamic/temporal
+    assert by_name["triggered"]["shared"]
+    assert by_name["spu"]["dynamic"]                    # dynamic/dedicated
+    assert not by_name["spu"]["shared"]
+    assert by_name["spu"]["indirect"]
+    assert by_name["tabla"]["shared"]                   # static/temporal
+    assert not by_name["tabla"]["dynamic"]
+    # REVEL mixes execution models in one fabric.
+    revel = topologies.revel()
+    models = {pe.scheduling for pe in revel.pes()}
+    assert models == {Scheduling.STATIC, Scheduling.DYNAMIC}
+    # MAERI/DianNao express tree topologies (strictly fewer links than a
+    # mesh with comparable PE count).
+    assert by_name["maeri"]["links"] < by_name["softbrain"]["links"]

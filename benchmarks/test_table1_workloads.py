@@ -1,0 +1,21 @@
+"""Table I: the workload specification (names, domains, sizes)."""
+
+from conftest import run_once
+
+from repro.harness import table1
+from repro.harness.report import format_table
+from repro.workloads.spec import WORKLOAD_DOMAINS
+
+
+def test_table1_workload_spec(benchmark):
+    rows, summary = run_once(benchmark, table1.run)
+    print()
+    print(format_table(rows, title="Table I: workload specification"))
+    # All thirteen Table I workloads present, plus the DSE sets.
+    table1_names = (
+        WORKLOAD_DOMAINS["machsuite"] + WORKLOAD_DOMAINS["sparse"]
+        + WORKLOAD_DOMAINS["dsp"] + WORKLOAD_DOMAINS["polybench"]
+    )
+    listed = {row["workload"] for row in rows}
+    assert set(table1_names) <= listed
+    assert summary["workloads"] >= 18

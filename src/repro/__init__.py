@@ -1,0 +1,25 @@
+"""DSAGEN reproduction: programmable spatial accelerator synthesis.
+
+This package reimplements the DSAGEN framework (Weng et al., ISCA 2020) in
+pure Python:
+
+* :mod:`repro.adg` -- the architecture description graph and its primitives.
+* :mod:`repro.isa` -- instruction set and functional-unit capability model.
+* :mod:`repro.frontend` -- a C-subset frontend with ``#pragma dsa`` support.
+* :mod:`repro.ir` -- the decoupled dataflow intermediate representation.
+* :mod:`repro.compiler` -- modular decoupled-spatial compilation.
+* :mod:`repro.scheduler` -- stochastic spatial scheduling with repair.
+* :mod:`repro.estimation` -- performance and power/area models.
+* :mod:`repro.dse` -- automated hardware/software design-space exploration.
+* :mod:`repro.hwgen` -- bitstream, configuration-path and RTL generation.
+* :mod:`repro.sim` -- a cycle-level simulator for generated accelerators.
+* :mod:`repro.workloads` -- the paper's evaluation kernels.
+* :mod:`repro.baselines` -- prior-accelerator models and reference data.
+* :mod:`repro.harness` -- drivers that regenerate every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

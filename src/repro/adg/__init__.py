@@ -1,0 +1,55 @@
+"""Architecture Description Graph (ADG).
+
+The ADG is DSAGEN's hardware representation: a directed graph whose nodes
+are modular spatial-architecture primitives (Figure 3 of the paper) and
+whose edges are point-to-point connections.
+
+* :mod:`repro.adg.components` — the primitive component types and their
+  parameters (execution model, sharing, widths, controllers, ...).
+* :mod:`repro.adg.graph` — the :class:`Adg` container with node/link
+  editing, cloning, and feature queries.
+* :mod:`repro.adg.validate` — composition-rule checking (Section III-B).
+* :mod:`repro.adg.serialize` — JSON round-tripping.
+* :mod:`repro.adg.topologies` — mesh/tree/linear builders plus the
+  prior-accelerator instantiations used in the evaluation.
+"""
+
+from repro.adg.components import (
+    Component,
+    ControlCore,
+    DelayFifo,
+    Direction,
+    Memory,
+    MemoryKind,
+    ProcessingElement,
+    Resourcing,
+    Scheduling,
+    Switch,
+    SyncElement,
+)
+from repro.adg.graph import Adg, Link
+from repro.adg.validate import validate_adg
+from repro.adg.serialize import adg_from_dict, adg_to_dict, load_adg, save_adg
+from repro.adg import topologies
+
+__all__ = [
+    "Adg",
+    "Link",
+    "Component",
+    "ProcessingElement",
+    "Switch",
+    "Memory",
+    "MemoryKind",
+    "SyncElement",
+    "DelayFifo",
+    "ControlCore",
+    "Scheduling",
+    "Resourcing",
+    "Direction",
+    "validate_adg",
+    "adg_to_dict",
+    "adg_from_dict",
+    "save_adg",
+    "load_adg",
+    "topologies",
+]

@@ -1,0 +1,69 @@
+"""Hardware feature flags consumed by the modular compiler.
+
+"Before performing any hardware-dependent transformations, the compiler
+will first inspect if the underlying hardware has the corresponding feature
+to support it" (Section IV-C). :class:`FeatureSet` is that inspection,
+captured once per ADG so transformation passes stay hardware-agnostic.
+"""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class FeatureSet:
+    """Snapshot of compilation-relevant ADG capabilities.
+
+    Attributes mirror the three evaluated modular features of Figure 12
+    (shared / dynamic / indirect) plus the remaining capabilities the
+    transformations check.
+    """
+
+    dynamic: bool = False          # dynamic-scheduled PEs exist
+    shared: bool = False           # shared (temporal) PEs exist
+    indirect: bool = False         # indirect memory controller exists
+    atomic_update: bool = False    # in-bank update units exist
+    stream_join: bool = False      # dynamic PEs with sjoin opcode
+    decomposable: bool = False     # any PE/switch decomposes below width
+    supported_ops: frozenset = frozenset()
+    total_pes: int = 0
+    memory_bandwidth_bits: int = 0
+    sync_buffer_bits: int = 0      # total sync-element buffering
+
+    @classmethod
+    def from_adg(cls, adg):
+        """Inspect an :class:`~repro.adg.graph.Adg`."""
+        decomposable = any(
+            pe.decomposable_to < pe.width for pe in adg.pes()
+        ) or any(sw.decomposable_to < sw.width for sw in adg.switches())
+        sync_bits = sum(
+            port.depth * port.width for port in adg.sync_elements()
+        )
+        bandwidth = sum(m.bandwidth_bits for m in adg.memories())
+        return cls(
+            dynamic=adg.has_dynamic_pes(),
+            shared=adg.has_shared_pes(),
+            indirect=adg.has_indirect_memory(),
+            atomic_update=adg.has_atomic_update(),
+            stream_join=adg.has_stream_join(),
+            decomposable=decomposable,
+            supported_ops=frozenset(adg.supported_ops()),
+            total_pes=len(adg.pes()),
+            memory_bandwidth_bits=bandwidth,
+            sync_buffer_bits=sync_bits,
+        )
+
+    def without(self, *names):
+        """A copy with the named boolean features forced off.
+
+        Used by the Figure 12 ablation to disable features the hardware
+        physically has.
+        """
+        updates = {}
+        for name in names:
+            if not hasattr(self, name):
+                raise AttributeError(f"unknown feature {name!r}")
+            updates[name] = False
+        return replace(self, **updates)
+
+    def supports_op(self, op_name):
+        return op_name in self.supported_ops

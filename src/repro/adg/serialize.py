@@ -1,0 +1,100 @@
+"""JSON (de)serialization for ADGs.
+
+The on-disk format is a plain dict so generated designs can be stored,
+diffed, and reloaded by the hardware generator:
+
+```json
+{
+  "name": "softbrain",
+  "nodes": [{"type": "pe", "name": "pe0", "width": 64, ...}, ...],
+  "links": [{"src": "pe0", "dst": "sw1", "width": 64}, ...]
+}
+```
+"""
+
+import dataclasses
+import enum
+import json
+
+from repro.adg.components import COMPONENT_KINDS
+from repro.adg.graph import Adg
+from repro.errors import AdgError
+
+
+def _encode_value(value):
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    return value
+
+
+def component_to_dict(component):
+    """Serialize one component to a plain dict."""
+    payload = {"type": component.KIND}
+    for field in dataclasses.fields(component):
+        payload[field.name] = _encode_value(getattr(component, field.name))
+    return payload
+
+
+def component_from_dict(payload):
+    """Reconstruct a component from :func:`component_to_dict` output."""
+    payload = dict(payload)
+    kind = payload.pop("type", None)
+    cls = COMPONENT_KINDS.get(kind)
+    if cls is None:
+        raise AdgError(f"unknown component kind {kind!r}")
+    kwargs = {}
+    for field in dataclasses.fields(cls):
+        if field.name not in payload:
+            continue
+        value = payload.pop(field.name)
+        field_type = field.type if isinstance(field.type, type) else None
+        # Enum fields are stored by value; detect them from the default.
+        default = field.default
+        if isinstance(default, enum.Enum):
+            value = type(default)(value)
+        elif field.name == "op_names":
+            value = set(value)
+        elif field_type and issubclass(field_type, enum.Enum):
+            value = field_type(value)
+        kwargs[field.name] = value
+    if payload:
+        raise AdgError(f"unknown fields for {kind}: {sorted(payload)}")
+    return cls(**kwargs)
+
+
+def adg_to_dict(adg):
+    """Serialize a whole graph."""
+    return {
+        "name": adg.name,
+        "nodes": [component_to_dict(n) for n in adg.nodes()],
+        "links": [
+            {"src": link.src, "dst": link.dst, "width": link.width}
+            for link in adg.links()
+        ],
+    }
+
+
+def adg_from_dict(payload):
+    """Reconstruct a graph from :func:`adg_to_dict` output."""
+    adg = Adg(payload.get("name", "adg"))
+    for node_payload in payload.get("nodes", []):
+        adg.add(component_from_dict(node_payload))
+    for link_payload in payload.get("links", []):
+        adg.connect(
+            link_payload["src"], link_payload["dst"], link_payload["width"]
+        )
+    return adg
+
+
+def save_adg(adg, path):
+    """Write a graph to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(adg_to_dict(adg), handle, indent=2, sort_keys=True)
+
+
+def load_adg(path):
+    """Read a graph from a JSON file."""
+    with open(path) as handle:
+        return adg_from_dict(json.load(handle))

@@ -1,0 +1,578 @@
+"""ADG topology builders.
+
+Generic builders (:func:`build_mesh`, :func:`build_tree`,
+:func:`build_linear`) plus instantiations of the five accelerators the
+paper targets in Section VII (Softbrain, MAERI, Triggered Instructions,
+SPU, REVEL), the CCA example of Figure 4, a DianNao-like design, and the
+5x4 full-capability mesh used as the DSE starting point.
+
+Mesh layout: an ``(rows+1) x (cols+1)`` grid of switches with bidirectional
+orthogonal links; one PE per grid cell connected to its four corner
+switches in both directions (the Softbrain substrate [65]). Input sync
+ports feed the top switch row from the memories; output sync ports drain
+the bottom switch row into the memories; the control core attaches at the
+north-west switch, where configuration messages enter the network.
+"""
+
+from repro.adg.components import (
+    ControlCore,
+    Direction,
+    Memory,
+    MemoryKind,
+    ProcessingElement,
+    Resourcing,
+    Scheduling,
+    Switch,
+    SyncElement,
+)
+from repro.adg.graph import Adg
+
+# Opcode sets ---------------------------------------------------------------
+
+#: Minimal integer datapath.
+INT_OPS = {
+    "add", "sub", "mul", "min", "max", "abs",
+    "cmp_lt", "cmp_gt", "cmp_eq", "cmp_ne", "cmp_le", "cmp_ge",
+    "select", "copy", "acc", "and", "or", "xor", "shl", "shr",
+}
+
+#: Floating-point datapath for the dense/DSP kernels.
+FP_OPS = {
+    "fadd", "fsub", "fmul", "fmac", "fdiv", "fsqrt",
+    "fmin", "fmax", "fabs", "fneg",
+    "fcmp_lt", "fcmp_gt", "fcmp_eq", "select", "copy",
+}
+
+#: Neural-network extras.
+NN_OPS = {"sigmoid", "tanh", "exp", "mac"}
+
+#: Stream-join control (only meaningful on dynamic PEs).
+JOIN_OPS = {"sjoin"}
+
+#: Everything — the DSE starting point instantiates full capability.
+FULL_OPS = INT_OPS | FP_OPS | NN_OPS | JOIN_OPS
+
+
+def _add_memories(adg, spad_kwargs=None, with_dma=True):
+    """Create the scratchpad and the DMA (L2) interface."""
+    spad_defaults = {
+        "capacity_bytes": 32 * 1024,
+        "width_bytes": 64,
+        "num_stream_slots": 16,
+    }
+    spad_defaults.update(spad_kwargs or {})
+    spad = adg.add(
+        Memory(
+            name="spad0",
+            kind=MemoryKind.SPAD,
+            width=spad_defaults["width_bytes"] * 8,
+            **spad_defaults,
+        )
+    )
+    memories = [spad]
+    if with_dma:
+        # 75 GB/s L2 at 1 GHz ≈ 75 B/cycle; model 64 B/cycle (power of two).
+        dma = adg.add(
+            Memory(
+                name="dma0",
+                kind=MemoryKind.DMA,
+                capacity_bytes=1 << 30,
+                width_bytes=64,
+                width=64 * 8,
+                num_stream_slots=16,
+            )
+        )
+        memories.append(dma)
+    return memories
+
+
+def _attach_ports(adg, memories, entry_switches, exit_switches,
+                  num_inputs, num_outputs, port_width, port_depth=8):
+    """Create sync ports and wire memory <-> port <-> switch buses."""
+    inputs, outputs = [], []
+    # A vector port presents one 64-bit lane per entry switch, so a port
+    # of width W gets W/64 links fanned across distinct switches (the
+    # Softbrain vector-port wiring [65]).
+    lanes = max(1, port_width // 64)
+    for index in range(num_inputs):
+        port = adg.add(
+            SyncElement(
+                name=f"in{index}",
+                width=port_width,
+                depth=port_depth,
+                direction=Direction.INPUT,
+            )
+        )
+        for memory in memories:
+            adg.connect(memory, port, min(memory.bandwidth_bits, port_width))
+        for lane in range(min(lanes, len(entry_switches))):
+            switch = entry_switches[(index + lane) % len(entry_switches)]
+            adg.connect(port, switch)
+        inputs.append(port)
+    for index in range(num_outputs):
+        port = adg.add(
+            SyncElement(
+                name=f"out{index}",
+                width=port_width,
+                depth=port_depth,
+                direction=Direction.OUTPUT,
+            )
+        )
+        for memory in memories:
+            adg.connect(port, memory, min(memory.bandwidth_bits, port_width))
+        for lane in range(min(lanes, len(exit_switches))):
+            switch = exit_switches[(index + lane) % len(exit_switches)]
+            adg.connect(switch, port)
+        outputs.append(port)
+    return inputs, outputs
+
+
+def build_mesh(
+    rows,
+    cols,
+    name="mesh",
+    pe_scheduling=Scheduling.STATIC,
+    pe_resourcing=Resourcing.DEDICATED,
+    ops=None,
+    width=64,
+    decomposable_to=None,
+    max_instructions=1,
+    switch_scheduling=None,
+    num_inputs=None,
+    num_outputs=None,
+    port_width=None,
+    spad_kwargs=None,
+    with_dma=True,
+    delay_fifo_depth=32,
+):
+    """Build a ``rows x cols`` PE mesh with a switch grid around it.
+
+    Returns the populated :class:`~repro.adg.graph.Adg`. All PEs share the
+    given execution model; heterogeneous designs (REVEL) edit the result.
+    """
+    ops = set(ops) if ops is not None else set(INT_OPS)
+    decomposable_to = decomposable_to or width
+    switch_scheduling = switch_scheduling or pe_scheduling
+    # Enough vector ports for the widest workloads (9-point stencils use
+    # nine taps; fft uses six inputs and four outputs).
+    num_inputs = num_inputs if num_inputs is not None else max(10, cols + 1)
+    num_outputs = num_outputs if num_outputs is not None else 4
+    port_width = port_width or width * 4
+
+    adg = Adg(name)
+    switches = {}
+    for row in range(rows + 1):
+        for col in range(cols + 1):
+            switches[row, col] = adg.add(
+                Switch(
+                    name=f"sw_{row}_{col}",
+                    width=width,
+                    scheduling=switch_scheduling,
+                    decomposable_to=decomposable_to,
+                )
+            )
+    for row in range(rows + 1):
+        for col in range(cols + 1):
+            if col + 1 <= cols:
+                adg.connect_bidir(switches[row, col], switches[row, col + 1])
+            if row + 1 <= rows:
+                adg.connect_bidir(switches[row, col], switches[row + 1, col])
+
+    shared = pe_resourcing is Resourcing.SHARED
+    for row in range(rows):
+        for col in range(cols):
+            pe = adg.add(
+                ProcessingElement(
+                    name=f"pe_{row}_{col}",
+                    width=width,
+                    scheduling=pe_scheduling,
+                    resourcing=pe_resourcing,
+                    op_names=set(ops),
+                    max_instructions=max_instructions if shared else 1,
+                    decomposable_to=decomposable_to,
+                    delay_fifo_depth=delay_fifo_depth,
+                )
+            )
+            corners = [
+                switches[row, col], switches[row, col + 1],
+                switches[row + 1, col], switches[row + 1, col + 1],
+            ]
+            for corner in corners:
+                adg.connect_bidir(pe, corner)
+
+    memories = _add_memories(adg, spad_kwargs, with_dma)
+    # Ports attach along the fabric perimeter (top row + left column for
+    # inputs, bottom row + right column for outputs), as in Softbrain's
+    # vector-port wiring -- values destined for inner rows need not burn
+    # top-cut vertical links.
+    entry = [switches[0, col] for col in range(cols + 1)] + [
+        switches[row, 0] for row in range(1, rows)
+    ]
+    exits = [switches[rows, col] for col in range(cols + 1)] + [
+        switches[row, cols] for row in range(1, rows)
+    ]
+    _attach_ports(
+        adg, memories, entry, exits, num_inputs, num_outputs, port_width
+    )
+
+    core = adg.add(ControlCore(name="core0", width=64))
+    adg.connect(core, switches[0, 0])
+    return adg
+
+
+def build_tree(
+    leaves,
+    name="tree",
+    leaf_ops=frozenset({"fmul", "copy"}),
+    reduce_ops=frozenset({"fadd", "copy"}),
+    width=64,
+):
+    """Build a MAERI-style design: distribution switches feed multiplier
+    leaves whose results flow up a binary reduction tree of adder PEs.
+
+    ``leaves`` must be a power of two >= 2.
+    """
+    if leaves < 2 or leaves & (leaves - 1):
+        raise ValueError("leaves must be a power of two >= 2")
+
+    adg = Adg(name)
+    memories = _add_memories(adg, {"width_bytes": 64})
+
+    # Distribution network: a binary tree of switches fanning out to leaves.
+    dist_levels = []
+    level_switches = [adg.add(Switch(name="dist_0_0", width=width))]
+    dist_levels.append(level_switches)
+    level = 1
+    while len(level_switches) < leaves:
+        next_level = []
+        for index in range(len(level_switches) * 2):
+            switch = adg.add(Switch(name=f"dist_{level}_{index}", width=width))
+            adg.connect(level_switches[index // 2], switch)
+            next_level.append(switch)
+        dist_levels.append(next_level)
+        level_switches = next_level
+        level += 1
+
+    leaf_pes = []
+    for index in range(leaves):
+        pe = adg.add(
+            ProcessingElement(
+                name=f"leaf{index}",
+                width=width,
+                op_names=set(leaf_ops),
+            )
+        )
+        adg.connect(level_switches[index], pe)
+        leaf_pes.append(pe)
+
+    # Reduction tree of adder PEs, with switches so partial sums can also
+    # be tapped (MAERI's augmented reduction tree).
+    frontier = leaf_pes
+    level = 0
+    while len(frontier) > 1:
+        next_frontier = []
+        for index in range(len(frontier) // 2):
+            adder = adg.add(
+                ProcessingElement(
+                    name=f"red_{level}_{index}",
+                    width=width,
+                    op_names=set(reduce_ops),
+                )
+            )
+            tap = adg.add(Switch(name=f"tap_{level}_{index}", width=width))
+            adg.connect(frontier[2 * index], tap)
+            adg.connect(frontier[2 * index + 1], tap)
+            adg.connect(tap, adder)
+            next_frontier.append(adder)
+        frontier = next_frontier
+        level += 1
+
+    root_switch = adg.add(Switch(name="root_sw", width=width))
+    adg.connect(frontier[0], root_switch)
+
+    inputs, outputs = _attach_ports(
+        adg,
+        memories,
+        entry_switches=[dist_levels[0][0]],
+        exit_switches=[root_switch],
+        num_inputs=max(2, leaves // 4),
+        num_outputs=1,
+        port_width=width * 4,
+    )
+    del inputs, outputs
+
+    core = adg.add(ControlCore(name="core0", width=64))
+    adg.connect(core, dist_levels[0][0])
+    return adg
+
+
+def build_linear(stages, name="linear", ops=None, width=64):
+    """A CCA-like near-switchless chain: PEs in series with one bypass
+    switch per stage (Figure 4(b) has the fewest switches)."""
+    ops = set(ops) if ops is not None else set(INT_OPS)
+    adg = Adg(name)
+    memories = _add_memories(adg, with_dma=False)
+
+    entry = adg.add(Switch(name="sw_entry", width=width))
+    previous = entry
+    for index in range(stages):
+        pe = adg.add(
+            ProcessingElement(name=f"pe{index}", width=width, op_names=set(ops))
+        )
+        bypass = adg.add(Switch(name=f"sw{index}", width=width))
+        adg.connect(previous, pe)
+        adg.connect(previous, bypass)
+        adg.connect(pe, bypass)
+        previous = bypass
+
+    _attach_ports(
+        adg, memories, [entry], [previous],
+        num_inputs=2, num_outputs=1, port_width=width * 2,
+    )
+    core = adg.add(ControlCore(name="core0", width=64))
+    adg.connect(core, entry)
+    return adg
+
+
+# ---------------------------------------------------------------------------
+# Paper Section VII target accelerators
+# ---------------------------------------------------------------------------
+
+def softbrain(rows=5, cols=4):
+    """Softbrain [65]: a 5x4 mesh of static/dedicated PEs and switches
+    with a single non-banked scratchpad (the original unit size)."""
+    return build_mesh(
+        rows, cols,
+        name="softbrain",
+        pe_scheduling=Scheduling.STATIC,
+        pe_resourcing=Resourcing.DEDICATED,
+        ops=INT_OPS | FP_OPS | NN_OPS,
+        spad_kwargs={"banks": 1},
+    )
+
+
+def maeri(leaves=16):
+    """MAERI [45]: Softbrain-like execution model on a tree topology."""
+    return build_tree(leaves, name="maeri")
+
+
+def triggered(rows=5, cols=4):
+    """Triggered Instructions [69]: mesh of dynamic/shared (temporal) PEs
+    sharing a decoupled scratchpad."""
+    return build_mesh(
+        rows, cols,
+        name="triggered",
+        pe_scheduling=Scheduling.DYNAMIC,
+        pe_resourcing=Resourcing.SHARED,
+        max_instructions=16,
+        ops=INT_OPS | FP_OPS | NN_OPS | JOIN_OPS,
+        spad_kwargs={"banks": 1},
+    )
+
+
+def spu(rows=5, cols=4):
+    """SPU [20]: dynamic/dedicated PEs with a banked scratchpad, indirect
+    controller and in-bank atomic update."""
+    return build_mesh(
+        rows, cols,
+        name="spu",
+        pe_scheduling=Scheduling.DYNAMIC,
+        pe_resourcing=Resourcing.DEDICATED,
+        ops=INT_OPS | FP_OPS | NN_OPS | JOIN_OPS,
+        spad_kwargs={
+            "banks": 8,
+            "indirect": True,
+            "atomic_update": True,
+        },
+    )
+
+
+def revel(rows=5, cols=4):
+    """REVEL [92]: static and dynamic PEs composed in one mesh; the two
+    zones communicate through synchronization elements.
+
+    The left half of each row is systolic (static/dedicated); the right
+    half is dataflow (dynamic/dedicated, stream-join capable). A mid-fabric
+    sync element buffers values crossing from the static into the dynamic
+    zone so timing guarantees hold (Section III-B).
+    """
+    adg = build_mesh(
+        rows, cols,
+        name="revel",
+        pe_scheduling=Scheduling.STATIC,
+        pe_resourcing=Resourcing.DEDICATED,
+        ops=INT_OPS | FP_OPS | NN_OPS,
+        spad_kwargs={"banks": 2, "indirect": True},
+    )
+    boundary = cols // 2
+    for row in range(rows):
+        for col in range(boundary, cols):
+            pe = adg.node(f"pe_{row}_{col}")
+            pe.scheduling = Scheduling.DYNAMIC
+            pe.op_names = set(INT_OPS | FP_OPS | JOIN_OPS)
+    # Cross-zone sync elements along the boundary column.
+    spad = adg.scratchpad()
+    for row in range(rows):
+        sync = adg.add(
+            SyncElement(
+                name=f"xsync{row}",
+                width=64,
+                depth=8,
+                direction=Direction.INPUT,
+            )
+        )
+        adg.connect(spad, sync)
+        adg.connect(sync, f"sw_{row}_{boundary}")
+    return adg
+
+
+def cca():
+    """CCA [16]: the Figure 4(b) few-switch feed-forward design."""
+    return build_linear(stages=4, name="cca")
+
+
+def diannao_like():
+    """A DianNao-style [12] fixed dataflow: two scratchpads feeding a
+    multiplier layer reduced by an adder tree with a sigmoid at the root.
+
+    Expressed inside the design space as a tree with NN opcodes; this is
+    the "approximation" the paper discusses in Section III-C.
+    """
+    adg = build_tree(
+        leaves=16,
+        name="diannao",
+        leaf_ops=frozenset({"fmul", "mac", "copy"}),
+        reduce_ops=frozenset({"fadd", "copy"}),
+    )
+    # Root gains the activation function.
+    roots = [pe for pe in adg.pes() if pe.name.startswith("red_")]
+    top = max(roots, key=lambda pe: int(pe.name.split("_")[1]))
+    top.op_names |= {"sigmoid"}
+    return adg
+
+
+def plasticine(clusters=2):
+    """Plasticine [78] approximation (Section III-C): PCUs are clusters
+    of static/dedicated PEs chained behind vector FIFOs (sync elements);
+    PMUs are banked scratchpads with address datapaths. Memory
+    coalescing is the one feature the paper notes it cannot express.
+    """
+    adg = Adg("plasticine")
+    dma = adg.add(
+        Memory(
+            name="dma0", kind=MemoryKind.DMA, capacity_bytes=1 << 30,
+            width_bytes=64, width=512, num_stream_slots=16,
+        )
+    )
+    # PMUs: banked scratchpads (the pattern-memory units).
+    pmus = []
+    for index in range(clusters):
+        pmus.append(adg.add(Memory(
+            name=f"pmu{index}", width=512, capacity_bytes=16 * 1024,
+            width_bytes=64, banks=4, num_stream_slots=8,
+        )))
+
+    # Switch ring connecting the PCU columns.
+    ring = [
+        adg.add(Switch(name=f"ring{i}", width=64))
+        for i in range(clusters * 3)
+    ]
+    for index, switch in enumerate(ring):
+        adg.connect_bidir(switch, ring[(index + 1) % len(ring)])
+
+    for cluster in range(clusters):
+        entry = ring[cluster * 3]
+        exit_switch = ring[cluster * 3 + 2]
+        # The PCU: a chain of static/dedicated fp PEs (Plasticine's SIMD
+        # pipeline stages), fed through vector FIFOs.
+        previous = entry
+        for stage in range(4):
+            pe = adg.add(ProcessingElement(
+                name=f"pcu{cluster}_s{stage}",
+                scheduling=Scheduling.STATIC,
+                op_names=set(FP_OPS | {"add", "sub", "mul", "acc"}),
+                delay_fifo_depth=32,
+            ))
+            # Each stage sees the previous stage's results and the PCU's
+            # live-in bus (two operand sources, like Plasticine's stage
+            # registers + input FIFO broadcast).
+            adg.connect(previous, pe)
+            if previous is not entry:
+                adg.connect(entry, pe)
+            bypass = adg.add(Switch(name=f"pcu{cluster}_b{stage}",
+                                    width=64))
+            adg.connect(pe, bypass)
+            adg.connect(previous, bypass)
+            previous = bypass
+        adg.connect(previous, exit_switch)
+
+        for port_index in range(3):
+            port = adg.add(SyncElement(
+                name=f"vfifo{cluster}_{port_index}", width=256, depth=8,
+                direction=Direction.INPUT,
+            ))
+            adg.connect(dma, port, 256)
+            adg.connect(pmus[cluster], port, 256)
+            adg.connect(port, ring[cluster * 3 + port_index % 2])
+        out_port = adg.add(SyncElement(
+            name=f"vout{cluster}", width=256, depth=8,
+            direction=Direction.OUTPUT,
+        ))
+        adg.connect(exit_switch, out_port)
+        adg.connect(out_port, pmus[cluster], 256)
+        adg.connect(out_port, dma, 256)
+
+    core = adg.add(ControlCore(name="core0"))
+    adg.connect(core, ring[0])
+    return adg
+
+
+def tabla():
+    """TABLA [49] approximation (Section III-C): a hierarchical mesh of
+    static-scheduled *temporal* (shared) PEs, with the scratchpad control
+    decoupled from the PE datapath control as the paper prescribes."""
+    adg = build_mesh(
+        2, 4,
+        name="tabla",
+        pe_scheduling=Scheduling.STATIC,
+        pe_resourcing=Resourcing.SHARED,
+        max_instructions=8,
+        ops=INT_OPS | {"fadd", "fsub", "fmul", "sigmoid"},
+        spad_kwargs={"banks": 4},
+        num_inputs=8,
+        num_outputs=3,
+    )
+    return adg
+
+
+def dse_initial(rows=5, cols=4):
+    """The DSE starting point (Section VIII-B): a 5x4 mesh with full
+    capability — control flow, FU decomposability, indirect memory."""
+    return build_mesh(
+        rows, cols,
+        name="dse_initial",
+        pe_scheduling=Scheduling.DYNAMIC,
+        pe_resourcing=Resourcing.DEDICATED,
+        ops=set(FULL_OPS),
+        decomposable_to=8,
+        spad_kwargs={
+            "banks": 8,
+            "indirect": True,
+            "atomic_update": True,
+        },
+    )
+
+
+#: Registry used by benches and examples.
+PRESETS = {
+    "softbrain": softbrain,
+    "maeri": maeri,
+    "triggered": triggered,
+    "spu": spu,
+    "revel": revel,
+    "cca": cca,
+    "diannao": diannao_like,
+    "plasticine": plasticine,
+    "tabla": tabla,
+    "dse_initial": dse_initial,
+}

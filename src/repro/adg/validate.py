@@ -1,0 +1,172 @@
+"""Composition-rule validation for ADGs (Section III-B).
+
+:func:`validate_adg` checks the structural rules the paper's hardware
+generator assumes:
+
+* each component's own parameters are consistent;
+* link widths are powers of two no wider than either endpoint;
+* memory data buses attach only to synchronization elements ("within the
+  architecture network, buses are only between memories and synchronization
+  elements", Section III-C);
+* sync elements bridge in the right direction (INPUT: memory-side in,
+  fabric-side out; OUTPUT: the reverse);
+* there is at most one control core and, when the fabric is non-empty, the
+  core reaches it (configuration messages ride the network, Section VI).
+
+Dataflow-legality rules (static values must pass through sync elements
+before reaching dynamic consumers; dedicated producers must not overwhelm
+shared PEs) are enforced by the scheduler, not here, because they restrict
+*mappings*, not hardware.
+"""
+
+from repro.adg.components import (
+    ControlCore,
+    DelayFifo,
+    Direction,
+    Memory,
+    ProcessingElement,
+    Switch,
+    SyncElement,
+)
+from repro.errors import AdgValidationError
+from repro.utils.bits import is_power_of_two
+
+
+def validate_adg(adg, strict=True):
+    """Validate ``adg``; returns a list of warning strings.
+
+    Raises
+    ------
+    AdgValidationError
+        On any hard rule violation. With ``strict=True``, usability
+        warnings (no memory, unreachable PEs) also raise.
+    """
+    problems = []
+    warnings = []
+
+    for component in adg.nodes():
+        try:
+            component.check()
+        except Exception as exc:  # surface component name with the message
+            problems.append(str(exc))
+
+    _check_links(adg, problems)
+    _check_memory_buses(adg, problems)
+    _check_sync_orientation(adg, problems)
+    _check_control_core(adg, problems)
+    _check_usability(adg, warnings)
+
+    if problems:
+        raise AdgValidationError("; ".join(problems))
+    if strict and warnings:
+        raise AdgValidationError("; ".join(warnings))
+    return warnings
+
+
+def _check_links(adg, problems):
+    for link in adg.links():
+        if not is_power_of_two(link.width):
+            problems.append(f"link {link}: width is not a power of two")
+        src = adg.node(link.src)
+        dst = adg.node(link.dst)
+        if link.width > src.width or link.width > dst.width:
+            problems.append(
+                f"link {link}: wider than an endpoint "
+                f"({src.width}b -> {dst.width}b)"
+            )
+
+
+def _check_memory_buses(adg, problems):
+    for memory in adg.nodes(Memory):
+        for link in adg.out_links(memory.name):
+            peer = adg.node(link.dst)
+            if not isinstance(peer, SyncElement):
+                problems.append(
+                    f"memory {memory.name} drives non-sync node {peer.name} "
+                    f"(buses connect memories only to sync elements)"
+                )
+        for link in adg.in_links(memory.name):
+            peer = adg.node(link.src)
+            if not isinstance(peer, (SyncElement, ControlCore)):
+                problems.append(
+                    f"memory {memory.name} is driven by non-sync node "
+                    f"{peer.name}"
+                )
+
+
+def _check_sync_orientation(adg, problems):
+    fabric_types = (ProcessingElement, Switch, DelayFifo, SyncElement)
+    for port in adg.nodes(SyncElement):
+        if port.direction is Direction.INPUT:
+            for link in adg.in_links(port.name):
+                peer = adg.node(link.src)
+                if not isinstance(peer, (Memory, ControlCore)):
+                    problems.append(
+                        f"input port {port.name} fed by {peer.name}; input "
+                        f"ports accept data from memories only"
+                    )
+            for link in adg.out_links(port.name):
+                peer = adg.node(link.dst)
+                if not isinstance(peer, fabric_types):
+                    problems.append(
+                        f"input port {port.name} drives non-fabric node "
+                        f"{peer.name}"
+                    )
+        else:
+            for link in adg.out_links(port.name):
+                peer = adg.node(link.dst)
+                if not isinstance(peer, Memory):
+                    problems.append(
+                        f"output port {port.name} drives {peer.name}; output "
+                        f"ports deliver data to memories only"
+                    )
+            for link in adg.in_links(port.name):
+                peer = adg.node(link.src)
+                if not isinstance(peer, fabric_types + (ControlCore,)):
+                    problems.append(
+                        f"output port {port.name} fed by non-fabric node "
+                        f"{peer.name}"
+                    )
+
+
+def _check_control_core(adg, problems):
+    cores = adg.nodes(ControlCore)
+    if len(cores) > 1:
+        problems.append(
+            "more than one control core (the ADG models a single instance, "
+            "Section III-C)"
+        )
+        return
+    fabric = adg.pes() + adg.switches()
+    if cores and fabric and not adg.out_links(cores[0].name):
+        problems.append(
+            f"control core {cores[0].name} has no link into the fabric; "
+            f"configuration messages cannot be delivered"
+        )
+
+
+def _check_usability(adg, warnings):
+    if not adg.memories():
+        warnings.append("no memory: the accelerator cannot load or store")
+    if adg.pes() and not adg.input_ports():
+        warnings.append("no input sync port: PEs cannot receive stream data")
+    if adg.pes() and not adg.output_ports():
+        warnings.append("no output sync port: results cannot be drained")
+    unreachable = _unreachable_pes(adg)
+    if unreachable:
+        warnings.append(
+            f"PEs unreachable from any input port: {sorted(unreachable)}"
+        )
+
+
+def _unreachable_pes(adg):
+    """PEs with no directed path from an input sync element."""
+    frontier = [p.name for p in adg.input_ports()]
+    seen = set(frontier)
+    while frontier:
+        name = frontier.pop()
+        for succ in adg.successors(name):
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return {pe.name for pe in adg.pes()} - seen

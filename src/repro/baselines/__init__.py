@@ -1,0 +1,22 @@
+"""Baselines for the evaluation.
+
+* :mod:`repro.baselines.manual` — "manually tuned" accelerator code:
+  hand-picked transform parameters, peephole-optimized control streams,
+  and near-exhaustive placement (Figure 10's comparison target).
+* :mod:`repro.baselines.cpu` — an analytic in-order/superscalar CPU model
+  standing in for the paper's Xeon + GCC -O3 reference.
+* :mod:`repro.baselines.fixed` — fixed-function accelerator cost
+  references (DianNao-, SCNN-style) computed by stripping
+  reconfigurability from the equivalent ADG (Figure 15).
+"""
+
+from repro.baselines.manual import manual_compile, manual_params_for
+from repro.baselines.cpu import cpu_cycles
+from repro.baselines.fixed import fixed_function_cost
+
+__all__ = [
+    "manual_compile",
+    "manual_params_for",
+    "cpu_cycles",
+    "fixed_function_cost",
+]

@@ -1,0 +1,57 @@
+"""Analytic CPU reference model.
+
+Stands in for the paper's Intel Xeon Silver 4116 @ 2.10 GHz running
+GCC -O3 C code: an out-of-order core sustaining a few scalar ops per
+cycle, bounded by memory bandwidth for streaming kernels. Used only to
+normalize accelerator speedups — absolute CPU fidelity is out of scope
+(DESIGN.md records the substitution).
+"""
+
+from repro.ir.region import as_stream_list
+from repro.ir.stream import ConstStream, RecurrenceStream
+
+#: Sustained scalar instructions per cycle (superscalar, -O3).
+CPU_IPC = 3.0
+#: Bytes per cycle from the cache hierarchy.
+CPU_BYTES_PER_CYCLE = 16.0
+#: Branch/loop overhead multiplier for irregular control flow.
+IRREGULAR_PENALTY = 1.6
+
+
+def cpu_cycles(kernel, scope=None):
+    """Estimated CPU cycles for one kernel execution.
+
+    Uses the kernel's scalar instruction count per instance and the
+    fallback scope's stream volumes for traffic.
+    """
+    scope = scope or kernel.build(kernel.fallback_params())
+    total_insts = 0.0
+    total_bytes = 0.0
+    irregular = False
+    for region in scope.regions:
+        instances = max(1, region.instance_count()
+                        or region.expected_instances)
+        per_instance = region.source_insts or (
+            len(region.dfg.instructions()) + 3
+        )
+        total_insts += instances * per_instance * region.frequency
+        for binding in list(region.input_streams.values()) + list(
+            region.output_streams.values()
+        ):
+            for stream in as_stream_list(binding):
+                if isinstance(stream, (ConstStream, RecurrenceStream)):
+                    continue
+                total_bytes += (
+                    stream.volume() * stream.word_bytes * region.frequency
+                )
+        if region.join_spec is not None or any(
+            getattr(s, "scalarized", False) or hasattr(s, "index")
+            for s in region.streams()
+        ):
+            irregular = True
+    compute_cycles = total_insts / CPU_IPC
+    memory_cycles = total_bytes / CPU_BYTES_PER_CYCLE
+    cycles = max(compute_cycles, memory_cycles)
+    if irregular:
+        cycles *= IRREGULAR_PENALTY
+    return max(1.0, cycles)

@@ -1,0 +1,297 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro workloads
+    python -m repro run mm --target softbrain --scale 0.1
+    python -m repro compile kernel.c --bind n=16 --array a=256 --array c=256
+    python -m repro dse --workloads mm,md,join --iters 10 --out design.json
+    python -m repro hwgen design.json --verilog design.v --paths 3
+    python -m repro report fig13
+
+Every subcommand is a thin shell over the library; scripts wanting more
+control should import :mod:`repro` directly.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+from repro.adg import load_adg, save_adg, topologies, validate_adg
+from repro.compiler import compile_kernel
+from repro.errors import DsagenError
+from repro.sim import simulate
+from repro.utils.rng import DeterministicRng
+
+
+def _parse_bindings(pairs):
+    result = {}
+    for pair in pairs or ():
+        name, _, value = pair.partition("=")
+        if not value:
+            raise SystemExit(f"expected NAME=VALUE, got {pair!r}")
+        result[name] = int(value)
+    return result
+
+
+def _target_adg(name):
+    if name.endswith(".json"):
+        return load_adg(name)
+    try:
+        return topologies.PRESETS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown target {name!r}; presets: "
+            f"{', '.join(sorted(topologies.PRESETS))} or a .json file"
+        )
+
+
+def _run_compiled(adg, workload, result, do_simulate):
+    print(f"variant: {result.params.describe()}  "
+          f"estimated cycles: {result.perf.cycles:.0f}")
+    print(f"schedule: {result.schedule.summary()}")
+    if not do_simulate:
+        return
+    memory = workload.make_memory()
+    result.scope.bind_constants(memory)
+    reference = copy.deepcopy(memory)
+    sim = simulate(adg, result, memory)
+    workload.reference(reference)
+    import math
+
+    correct = all(
+        all(math.isclose(float(a), float(b), rel_tol=1e-9, abs_tol=1e-9)
+            for a, b in zip(memory[array], reference[array]))
+        for array in memory
+    )
+    print(f"simulated cycles: {sim.cycles}  correct: {correct}")
+
+
+def cmd_workloads(args):
+    from repro.workloads import workload_names
+    from repro.workloads.spec import PAPER_SIZES, WORKLOAD_DOMAINS
+
+    domain_of = {}
+    for domain, names in WORKLOAD_DOMAINS.items():
+        for name in names:
+            domain_of[name] = domain
+    for name in workload_names():
+        print(f"{name:12s} {domain_of.get(name, '-'):10s} "
+              f"{PAPER_SIZES.get(name, {})}")
+    return 0
+
+
+def cmd_run(args):
+    from repro.workloads import kernel as make_kernel
+
+    adg = _target_adg(args.target)
+    workload = make_kernel(args.workload, args.scale)
+    print(f"compiling {args.workload!r} for {adg.name!r} ...")
+    result = compile_kernel(
+        workload, adg,
+        rng=DeterministicRng(args.seed), max_iters=args.sched_iters,
+    )
+    if not result.ok:
+        print("no legal mapping; rejected variants:")
+        for params, reason in result.rejected:
+            print(f"  {params.describe()}: {reason[:100]}")
+        return 1
+    _run_compiled(adg, workload, result, not args.no_simulate)
+    return 0
+
+
+def cmd_compile(args):
+    from repro.frontend import compile_c
+    from repro.ir.printer import describe_scope
+
+    with open(args.source) as handle:
+        source = handle.read()
+    arrays = _parse_bindings(args.array)
+    bindings = _parse_bindings(args.bind)
+    workload = compile_c(
+        source, bindings=bindings, arrays=arrays,
+        function=args.function,
+    )
+    adg = _target_adg(args.target)
+    result = compile_kernel(
+        workload, adg,
+        rng=DeterministicRng(args.seed), max_iters=args.sched_iters,
+    )
+    if not result.ok:
+        print("no legal mapping")
+        return 1
+    print(describe_scope(result.scope))
+    _run_compiled(adg, workload, result, not args.no_simulate)
+    if args.dot:
+        from repro.ir.printer import dfg_to_dot
+
+        with open(args.dot, "w") as handle:
+            for region in result.scope.regions:
+                handle.write(dfg_to_dot(region.dfg, region.name))
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def cmd_dse(args):
+    from repro.dse import DesignSpaceExplorer
+    from repro.workloads import kernel as make_kernel
+
+    names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+    kernels = [make_kernel(name, args.scale) for name in names]
+    initial = _target_adg(args.initial)
+    explorer = DesignSpaceExplorer(
+        kernels, initial,
+        rng=DeterministicRng(args.seed),
+        sched_iters=args.sched_iters,
+        area_budget_mm2=args.area_budget,
+    )
+    result = explorer.run(max_iters=args.iters)
+    for entry in result.history:
+        if entry.accepted:
+            print(f"iter {entry.iteration:3d}: area {entry.area_mm2:.3f} "
+                  f"obj {entry.objective:.3f} "
+                  f"[{entry.mutations[0] if entry.mutations else ''}]")
+    print(f"area saving {result.area_saving()*100:.0f}%  "
+          f"objective x{result.objective_improvement():.2f}")
+    if args.out:
+        save_adg(result.best_adg, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_hwgen(args):
+    from repro.hwgen import emit_verilog, generate_config_paths
+    from repro.hwgen.config_path import longest_path_length
+
+    adg = _target_adg(args.design)
+    validate_adg(adg, strict=False)
+    paths = generate_config_paths(adg, args.paths)
+    print(f"{len(paths)} configuration paths, longest "
+          f"{longest_path_length(paths)} hops")
+    if args.verilog:
+        with open(args.verilog, "w") as handle:
+            handle.write(emit_verilog(adg))
+        print(f"wrote {args.verilog}")
+    if args.dot:
+        from repro.ir.printer import adg_to_dot
+
+        with open(args.dot, "w") as handle:
+            handle.write(adg_to_dot(adg))
+        print(f"wrote {args.dot}")
+    if args.json_out:
+        save_adg(adg, args.json_out)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+def cmd_report(args):
+    from repro import harness
+    from repro.harness.report import print_table
+
+    drivers = {
+        "table1": harness.table1.run,
+        "fig10": harness.fig10.run,
+        "fig11": harness.fig11.run,
+        "fig12": harness.fig12.run,
+        "fig13": harness.fig13.run,
+        "fig14": harness.fig14.run,
+        "model": harness.model_validation.run,
+    }
+    if args.figure not in drivers:
+        raise SystemExit(
+            f"unknown figure {args.figure!r}; one of "
+            f"{', '.join(sorted(drivers))}"
+        )
+    outcome = drivers[args.figure]()
+    rows, summary = outcome[0], outcome[-1]
+    print_table(rows, title=args.figure)
+    print(json.dumps(summary, indent=2, default=str))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DSAGEN reproduction: programmable spatial "
+                    "accelerator synthesis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list built-in workloads")
+
+    run_parser = sub.add_parser("run", help="compile+simulate a workload")
+    run_parser.add_argument("workload")
+    run_parser.add_argument("--target", default="softbrain")
+    run_parser.add_argument("--scale", type=float, default=0.1)
+    run_parser.add_argument("--sched-iters", type=int, default=150)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--no-simulate", action="store_true")
+
+    compile_parser = sub.add_parser(
+        "compile", help="compile an annotated C file"
+    )
+    compile_parser.add_argument("source")
+    compile_parser.add_argument("--target", default="softbrain")
+    compile_parser.add_argument("--bind", action="append",
+                                metavar="NAME=VALUE")
+    compile_parser.add_argument("--array", action="append",
+                                metavar="NAME=SIZE")
+    compile_parser.add_argument("--function", default=None)
+    compile_parser.add_argument("--sched-iters", type=int, default=150)
+    compile_parser.add_argument("--seed", type=int, default=0)
+    compile_parser.add_argument("--no-simulate", action="store_true")
+    compile_parser.add_argument("--dot", default=None,
+                                help="write region DFGs as DOT")
+
+    dse_parser = sub.add_parser("dse", help="explore the design space")
+    dse_parser.add_argument("--workloads", required=True,
+                            help="comma-separated workload names")
+    dse_parser.add_argument("--initial", default="dse_initial")
+    dse_parser.add_argument("--iters", type=int, default=10)
+    dse_parser.add_argument("--scale", type=float, default=0.05)
+    dse_parser.add_argument("--sched-iters", type=int, default=60)
+    dse_parser.add_argument("--area-budget", type=float, default=10.0)
+    dse_parser.add_argument("--seed", type=int, default=0)
+    dse_parser.add_argument("--out", default=None,
+                            help="write the best design as JSON")
+
+    hwgen_parser = sub.add_parser(
+        "hwgen", help="generate hardware artifacts for a design"
+    )
+    hwgen_parser.add_argument("design",
+                              help="preset name or design JSON")
+    hwgen_parser.add_argument("--paths", type=int, default=3)
+    hwgen_parser.add_argument("--verilog", default=None)
+    hwgen_parser.add_argument("--dot", default=None)
+    hwgen_parser.add_argument("--json-out", default=None)
+
+    report_parser = sub.add_parser(
+        "report", help="regenerate a paper table/figure"
+    )
+    report_parser.add_argument("figure")
+
+    return parser
+
+
+_COMMANDS = {
+    "workloads": cmd_workloads,
+    "run": cmd_run,
+    "compile": cmd_compile,
+    "dse": cmd_dse,
+    "hwgen": cmd_hwgen,
+    "report": cmd_report,
+}
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except DsagenError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

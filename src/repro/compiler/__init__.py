@@ -1,0 +1,35 @@
+"""Modular decoupled-spatial compilation (Section IV).
+
+The compiler's job is to turn one hardware-agnostic kernel into the best
+legal mapping for a *given* ADG. Its core mechanism is **modular
+compilation**: every hardware-conditional transformation (vectorization
+degree, stream-join, indirect/atomic memory idioms) contributes a
+dimension to a kernel's *variant space*; variants whose required features
+the ADG lacks are pruned (each dimension has a guaranteed fallback), and
+the remaining versions are scheduled and ranked by estimated performance.
+
+* :mod:`repro.compiler.kernel` — :class:`Kernel`, variant parameters and
+  the variant space.
+* :mod:`repro.compiler.pipeline` — :func:`compile_kernel`, the
+  enumerate/schedule/estimate/select loop, producing a
+  :class:`CompiledKernel`.
+* :mod:`repro.compiler.transforms` — reusable transformation helpers
+  (reduction trees, stream-join construction, indirect fallbacks,
+  producer-consumer forwarding, in-place update tiling).
+* :mod:`repro.compiler.codegen` — control-program generation (stream
+  intrinsics, barriers, configuration) for the cycle-level simulator.
+"""
+
+from repro.compiler.kernel import Kernel, VariantParams, VariantSpace
+from repro.compiler.pipeline import CompiledKernel, compile_kernel
+from repro.compiler.codegen import ControlProgram, generate_control_program
+
+__all__ = [
+    "Kernel",
+    "VariantParams",
+    "VariantSpace",
+    "CompiledKernel",
+    "compile_kernel",
+    "ControlProgram",
+    "generate_control_program",
+]

@@ -1,0 +1,40 @@
+"""Reusable modular-transformation helpers (Section IV-D/IV-E).
+
+Kernel builders and the frontend lowering compose these:
+
+* :mod:`repro.compiler.transforms.vectorize` — vector inputs, reduction
+  trees, unroll-factor legality.
+* :mod:`repro.compiler.transforms.stream_join` — the stream-join
+  transform and its serialized fallback.
+* :mod:`repro.compiler.transforms.indirect` — indirect-access encoding
+  and the scalar fallback.
+* :mod:`repro.compiler.transforms.prodcons` — producer-consumer value
+  forwarding between concurrent regions.
+* :mod:`repro.compiler.transforms.inplace` — repetitive in-place-update
+  recycling with sync-buffer-capacity tiling.
+"""
+
+from repro.compiler.transforms.vectorize import (
+    legal_unrolls,
+    reduction_tree,
+    vector_pairwise,
+)
+from repro.compiler.transforms.stream_join import make_join_region
+from repro.compiler.transforms.indirect import gather_stream, update_stream
+from repro.compiler.transforms.prodcons import forward_value
+from repro.compiler.transforms.inplace import (
+    inplace_update_bindings,
+    tile_for_buffer,
+)
+
+__all__ = [
+    "legal_unrolls",
+    "reduction_tree",
+    "vector_pairwise",
+    "make_join_region",
+    "gather_stream",
+    "update_stream",
+    "forward_value",
+    "inplace_update_bindings",
+    "tile_for_buffer",
+]

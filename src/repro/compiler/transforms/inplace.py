@@ -1,0 +1,91 @@
+"""Repetitive in-place update recycling (Section IV-D).
+
+For ``c[j] op= f(...)`` repeated across an outer loop, the compiler
+compares the updated data size ``m`` with the synchronization-buffer
+capacity. If it fits, the update is routed producer->consumer on the
+datapath (a self-recurrence through the ports), eliminating the memory
+round-trip and its fences; otherwise the update loop is tiled so each
+tile fits.
+"""
+
+from repro.ir.stream import LinearStream, RecurrenceStream, StreamDirection
+
+
+def tile_for_buffer(update_words, sync_buffer_words):
+    """The tile size: full ``update_words`` when it fits, else the largest
+    divisor of ``update_words`` not exceeding the buffer capacity."""
+    if sync_buffer_words < 1:
+        return 1
+    if update_words <= sync_buffer_words:
+        return update_words
+    for tile in range(min(sync_buffer_words, update_words), 0, -1):
+        if update_words % tile == 0:
+            return tile
+    return 1
+
+
+def inplace_update_bindings(array, base_offset, update_words, outer_trips,
+                            port_out, sync_buffer_words=None,
+                            word_bytes=8):
+    """Build the input/output stream sequences for a recycled update.
+
+    Returns ``(input_binding, output_binding, tile, concurrency)``:
+
+    * input: initial read of ``c`` from memory, then the recycled values;
+    * output: recycled values first, final tile written back to memory.
+
+    When ``update_words`` exceeds the sync-buffer capacity the access is
+    tiled: each tile of ``tile`` words is recycled ``outer_trips`` times
+    before moving to the next tile (the loop-rewrite the paper
+    describes). ``concurrency`` is the recycling lag — how many instances
+    are in flight in the recurrence, which the performance model uses as
+    dependence-hiding concurrency.
+    """
+    tile = update_words
+    if sync_buffer_words is not None:
+        tile = tile_for_buffer(update_words, sync_buffer_words)
+    tiles = update_words // tile
+
+    recycle_len = (outer_trips - 1) * update_words
+    input_binding = []
+    output_binding = []
+    if tiles == 1:
+        input_binding.append(LinearStream(
+            array, offset=base_offset, length=update_words,
+            word_bytes=word_bytes,
+        ))
+        if recycle_len:
+            input_binding.append(RecurrenceStream(
+                array="", source_port=port_out, length=recycle_len,
+            ))
+            output_binding.append(RecurrenceStream(
+                array="", source_port=port_out, length=recycle_len,
+                direction=StreamDirection.WRITE,
+            ))
+        output_binding.append(LinearStream(
+            array, offset=base_offset, length=update_words,
+            direction=StreamDirection.WRITE, word_bytes=word_bytes,
+        ))
+        return input_binding, output_binding, tile, max(1, update_words)
+
+    # Tiled: per tile, read once, recycle (outer_trips - 1) times, write.
+    for t in range(tiles):
+        offset = base_offset + t * tile
+        input_binding.append(LinearStream(
+            array, offset=offset, length=tile, word_bytes=word_bytes,
+        ))
+        if outer_trips > 1:
+            input_binding.append(RecurrenceStream(
+                array="", source_port=port_out,
+                length=(outer_trips - 1) * tile,
+            ))
+            output_binding.append(RecurrenceStream(
+                array="", source_port=port_out,
+                length=(outer_trips - 1) * tile,
+                direction=StreamDirection.WRITE,
+            ))
+        output_binding.append(LinearStream(
+            array, offset=offset, length=tile,
+            direction=StreamDirection.WRITE, word_bytes=word_bytes,
+        ))
+    return input_binding, output_binding, tile, max(1, tile)

@@ -1,0 +1,26 @@
+"""Automated hardware/software design-space exploration (Section V).
+
+* :mod:`repro.dse.mutation` — ADG edit operators (add/remove PEs,
+  switches and links; toggle execution models; trim functional units;
+  resize memories and sync buffers) respecting the Section V-D fixed
+  features (one DMA + one scratchpad, fixed control core, flopped switch
+  outputs).
+* :mod:`repro.dse.objective` — the perf^2/mm^2 co-design objective with
+  hard area/power budgets.
+* :mod:`repro.dse.explorer` — the iterative loop: mutate, repair every
+  kernel's schedule on the new hardware (Section V-A), estimate, accept
+  on improvement.
+"""
+
+from repro.dse.mutation import MUTATIONS, AdgMutator
+from repro.dse.objective import DseObjective
+from repro.dse.explorer import DesignSpaceExplorer, DseHistoryEntry, DseResult
+
+__all__ = [
+    "AdgMutator",
+    "MUTATIONS",
+    "DseObjective",
+    "DesignSpaceExplorer",
+    "DseResult",
+    "DseHistoryEntry",
+]

@@ -1,0 +1,255 @@
+"""The iterative co-design loop (Section V).
+
+Each step clones the incumbent ADG, applies random mutations, *repairs*
+every kernel's schedule on the new hardware (Section V-A — the key
+speedup over remapping from scratch, evaluated in Figure 11), estimates
+performance/area/power with the analytical models, and accepts the
+candidate when the perf^2/mm^2 objective improves.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+from repro.compiler.pipeline import compile_kernel
+from repro.dse.mutation import AdgMutator, trim_unused_features
+from repro.dse.objective import DseObjective
+from repro.errors import CompilationError, DseError
+from repro.estimation.perf_model import PerformanceModel
+from repro.estimation.power_area import default_model
+from repro.scheduler.repair import strip_invalid
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass
+class DseHistoryEntry:
+    """One explorer step, as plotted in Figure 14."""
+
+    iteration: int
+    area_mm2: float
+    power_mw: float
+    performance: float
+    objective: float
+    accepted: bool
+    mutations: list = field(default_factory=list)
+
+
+@dataclass
+class DseResult:
+    """Explorer outcome."""
+
+    best_adg: object
+    best_objective: float
+    history: list = field(default_factory=list)
+    kernel_results: dict = field(default_factory=dict)
+    initial_area: float = 0.0
+    initial_power: float = 0.0
+
+    @property
+    def final_area(self):
+        accepted = [h for h in self.history if h.accepted]
+        return accepted[-1].area_mm2 if accepted else self.initial_area
+
+    @property
+    def final_power(self):
+        accepted = [h for h in self.history if h.accepted]
+        return accepted[-1].power_mw if accepted else self.initial_power
+
+    def area_saving(self):
+        if self.initial_area <= 0:
+            return 0.0
+        return 1.0 - self.final_area / self.initial_area
+
+    def objective_improvement(self):
+        baseline = next(
+            (h.objective for h in self.history if h.objective > 0), None
+        )
+        if baseline is None or self.best_objective <= 0:
+            return 1.0
+        return self.best_objective / baseline
+
+
+class DesignSpaceExplorer:
+    """Hardware/software co-design via iterative graph search."""
+
+    def __init__(
+        self,
+        kernels,
+        initial_adg,
+        rng=None,
+        area_budget_mm2=10.0,
+        power_budget_mw=2000.0,
+        sched_iters=200,
+        initial_sched_iters=None,
+        use_repair=True,
+        area_power_model=None,
+        perf_model=None,
+    ):
+        self.kernels = list(kernels)
+        self.initial_adg = initial_adg
+        self.rng = rng or DeterministicRng("dse")
+        self.mutator = AdgMutator(self.rng.fork("mutate"))
+        self.sched_iters = sched_iters
+        # The first mapping starts from nothing: give it a bigger budget
+        # (every later step starts from a repaired schedule).
+        self.initial_sched_iters = initial_sched_iters or sched_iters * 5
+        self.use_repair = use_repair
+        self.area_power = area_power_model or default_model()
+        self.perf_model = perf_model or PerformanceModel()
+        self.objective = DseObjective(
+            area_budget_mm2=area_budget_mm2,
+            power_budget_mw=power_budget_mw,
+        )
+
+    # ------------------------------------------------------------------
+    def _compile_all(self, adg, warm_schedules=None, budget=None):
+        """Compile every kernel; returns (results, cycles, schedules).
+
+        ``warm_schedules`` maps kernel name -> {params: schedule} from the
+        incumbent design; with repair enabled, stale state is stripped
+        and the search resumes from the survivor (Section V-A).
+        """
+        results = {}
+        cycles = {}
+        schedules = {}
+        for kernel in self.kernels:
+            initial = None
+            if self.use_repair and warm_schedules:
+                initial = {}
+                for params, schedule in warm_schedules.get(
+                    kernel.name, {}
+                ).items():
+                    clone = schedule.clone()
+                    strip_invalid(clone, adg)
+                    initial[params] = clone
+            try:
+                result = compile_kernel(
+                    kernel, adg,
+                    rng=self.rng.fork(f"sched-{kernel.name}"),
+                    max_iters=budget or self.sched_iters,
+                    initial_schedules=initial,
+                )
+            except CompilationError:
+                return None, {}, {}
+            if not result.ok:
+                return None, {}, {}
+            results[kernel.name] = result
+            cycles[kernel.name] = result.perf.cycles
+            schedules[kernel.name] = {result.params: result.schedule}
+        return results, cycles, schedules
+
+    def _estimate_hw(self, adg):
+        return self.area_power.estimate(adg)
+
+    # ------------------------------------------------------------------
+    def run(self, max_iters=50, patience=None, mutations_per_step=None):
+        """Explore for up to ``max_iters`` steps.
+
+        ``patience`` stops after that many steps without improvement
+        (the paper exits after 750). Returns a :class:`DseResult`.
+        """
+        patience = patience if patience is not None else max_iters
+        best_adg = self.initial_adg.clone()
+        results, cycles, schedules = self._compile_all(
+            best_adg, budget=self.initial_sched_iters
+        )
+        if results is None:
+            raise DseError("initial hardware cannot host the kernel set")
+        self.objective.set_baseline(cycles)
+        area, power = self._estimate_hw(best_adg)
+        best_score = self.objective.score(cycles, area, power)
+        result = DseResult(
+            best_adg=best_adg,
+            best_objective=best_score,
+            initial_area=area,
+            initial_power=power,
+            kernel_results=results,
+        )
+        result.history.append(DseHistoryEntry(
+            iteration=0, area_mm2=area, power_mw=power,
+            performance=1.0, objective=best_score, accepted=True,
+            mutations=["initial"],
+        ))
+
+        # Iteration 1: the paper's cleanup step — drop features no
+        # schedule uses (Figure 14's early area drop).
+        trimmed = best_adg.clone()
+        if trim_unused_features(
+            trimmed, [s for m in schedules.values() for s in m.values()]
+        ):
+            candidate = self._evaluate(
+                trimmed, schedules, 1, result, best_score
+            )
+            if candidate is not None:
+                best_adg, best_score, cycles, schedules, results = candidate
+                result.best_adg = best_adg
+                result.best_objective = best_score
+                result.kernel_results = results
+
+        stale = 0
+        for iteration in range(2, max_iters + 2):
+            if stale >= patience:
+                break
+            try:
+                mutated, descriptions = self.mutator.mutate(
+                    best_adg, count=mutations_per_step
+                )
+            except DseError:
+                stale += 1
+                continue
+            candidate = self._evaluate(
+                mutated, schedules, iteration, result, best_score,
+                descriptions,
+            )
+            if candidate is None:
+                stale += 1
+                continue
+            best_adg, best_score, cycles, schedules, results = candidate
+            result.best_adg = best_adg
+            result.best_objective = best_score
+            result.kernel_results = results
+            stale = 0
+        return result
+
+    def _evaluate(self, candidate_adg, warm_schedules, iteration, result,
+                  best_score, descriptions=("trim",)):
+        """Schedule + estimate one candidate; record history; return the
+        new incumbent tuple when accepted."""
+        area, power = self._estimate_hw(candidate_adg)
+        if area > self.objective.area_budget_mm2 or (
+            power > self.objective.power_budget_mw
+        ):
+            result.history.append(DseHistoryEntry(
+                iteration=iteration, area_mm2=area, power_mw=power,
+                performance=0.0, objective=float("-inf"), accepted=False,
+                mutations=list(descriptions),
+            ))
+            return None
+        results, cycles, schedules = self._compile_all(
+            candidate_adg, warm_schedules
+        )
+        if results is None:
+            result.history.append(DseHistoryEntry(
+                iteration=iteration, area_mm2=area, power_mw=power,
+                performance=0.0, objective=float("-inf"), accepted=False,
+                mutations=list(descriptions),
+            ))
+            return None
+        performance = self.objective.aggregate_performance(cycles)
+        score = self.objective.score(cycles, area, power)
+        accepted = score > best_score
+        result.history.append(DseHistoryEntry(
+            iteration=iteration, area_mm2=area, power_mw=power,
+            performance=performance, objective=score, accepted=accepted,
+            mutations=list(descriptions),
+        ))
+        if not accepted:
+            return None
+        return candidate_adg, score, cycles, schedules, results
+
+
+def geomean(values):
+    """Geometric mean of positive values."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))

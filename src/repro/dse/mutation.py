@@ -1,0 +1,374 @@
+"""ADG mutation operators for design-space exploration.
+
+"Create a modified ADG where a random number of components are added or
+removed (with random connectivity), without exceeding the power and area
+budget" (Section V). Mutations respect the Section V-D fixed features:
+the memory *interfaces* are fixed (one DMA, one scratchpad) though the
+scratchpad's parameters are explored; the control core is untouched;
+switches always flop their outputs.
+"""
+
+from repro.adg.components import (
+    Direction,
+    ProcessingElement,
+    Resourcing,
+    Scheduling,
+    Switch,
+    SyncElement,
+)
+from repro.adg.topologies import FULL_OPS
+from repro.adg.validate import validate_adg
+from repro.errors import AdgError, AdgValidationError, DseError
+from repro.utils.rng import DeterministicRng
+
+#: Opcode groups toggled as units (an FU is added/removed, not one op).
+_OP_GROUPS = [
+    {"add", "sub", "min", "max", "abs", "cmp_lt", "cmp_gt", "cmp_eq",
+     "select", "copy", "acc"},
+    {"mul", "mac"},
+    {"fadd", "fsub", "fmin", "fmax", "fcmp_lt", "fcmp_gt", "select",
+     "copy"},
+    {"fmul", "fmac"},
+    {"fdiv", "fsqrt"},
+    {"sigmoid", "tanh", "exp"},
+    {"sjoin", "cmp_lt", "cmp_gt", "cmp_eq"},
+    {"and", "or", "xor", "shl", "shr"},
+]
+
+
+class AdgMutator:
+    """Applies random legal edits to a cloned ADG."""
+
+    def __init__(self, rng=None):
+        self.rng = rng or DeterministicRng("dse-mutate")
+
+    # ------------------------------------------------------------------
+    def mutate(self, adg, count=None):
+        """Return ``(mutated_clone, [descriptions])``; the input ADG is
+        untouched. Retries mutations that would break validity."""
+        clone = adg.clone()
+        if count is None:
+            count = 1 + (self.rng.randint(0, 2))
+        applied = []
+        attempts = 0
+        while len(applied) < count and attempts < count * 8:
+            attempts += 1
+            name = self.rng.choice(list(MUTATIONS))
+            operator = MUTATIONS[name]
+            try:
+                description = operator(self, clone)
+            except (AdgError, DseError, IndexError, ValueError):
+                continue
+            if description is None:
+                continue
+            try:
+                validate_adg(clone, strict=False)
+            except AdgValidationError:
+                clone = adg.clone()  # roll back everything, start over
+                applied = []
+                continue
+            applied.append(f"{name}: {description}")
+        if not applied:
+            raise DseError("no legal mutation found")
+        return clone, applied
+
+    # -- helpers --------------------------------------------------------
+    def _random_switch(self, adg):
+        switches = adg.switches()
+        if not switches:
+            raise DseError("no switches")
+        return self.rng.choice(switches)
+
+    def _random_pe(self, adg):
+        pes = adg.pes()
+        if not pes:
+            raise DseError("no PEs")
+        return self.rng.choice(pes)
+
+
+# ---------------------------------------------------------------------------
+# Operators: each takes (mutator, adg) and returns a description or None.
+# ---------------------------------------------------------------------------
+
+def _add_pe(mutator, adg):
+    rng = mutator.rng
+    dynamic = rng.accept(0.5)
+    shared = rng.accept(0.3)
+    ops = set()
+    for group in _OP_GROUPS:
+        if rng.accept(0.45):
+            ops |= group
+    if not ops:
+        ops = set(_OP_GROUPS[0])
+    if "sjoin" in ops and not dynamic:
+        ops.discard("sjoin")
+    pe = ProcessingElement(
+        name=adg.new_name("xpe"),
+        scheduling=Scheduling.DYNAMIC if dynamic else Scheduling.STATIC,
+        resourcing=Resourcing.SHARED if shared else Resourcing.DEDICATED,
+        max_instructions=rng.choice([4, 8, 16]) if shared else 1,
+        op_names=ops & FULL_OPS,
+        decomposable_to=rng.choice([64, 64, 32, 16, 8]),
+        delay_fifo_depth=rng.choice([8, 16, 24]),
+    )
+    adg.add(pe)
+    anchors = rng.sample(adg.switches(), min(2, len(adg.switches())))
+    for anchor in anchors:
+        adg.connect_bidir(pe, anchor)
+    return f"{pe.name} ({'dyn' if dynamic else 'static'})"
+
+
+def _remove_pe(mutator, adg):
+    if len(adg.pes()) <= 1:
+        return None
+    pe = mutator._random_pe(adg)
+    adg.remove(pe.name)
+    return pe.name
+
+
+def _add_switch(mutator, adg):
+    rng = mutator.rng
+    switch = Switch(
+        name=adg.new_name("xsw"),
+        decomposable_to=rng.choice([64, 32, 8]),
+    )
+    adg.add(switch)
+    peers = rng.sample(adg.switches(), min(3, len(adg.switches())))
+    connected = False
+    for peer in peers:
+        if peer.name != switch.name:
+            adg.connect_bidir(switch, peer)
+            connected = True
+    if not connected:
+        adg.remove(switch.name)
+        return None
+    return switch.name
+
+
+def _remove_switch(mutator, adg):
+    if len(adg.switches()) <= 2:
+        return None
+    switch = mutator._random_switch(adg)
+    adg.remove(switch.name)
+    return switch.name
+
+
+def _add_link(mutator, adg):
+    rng = mutator.rng
+    fabric = adg.switches() + adg.pes()
+    src = rng.choice(fabric)
+    dst = rng.choice(fabric)
+    if src.name == dst.name:
+        return None
+    adg.connect(src, dst)
+    return f"{src.name}->{dst.name}"
+
+
+def _remove_link(mutator, adg):
+    links = [
+        link for link in adg.links()
+        if adg.node(link.src).KIND in ("switch", "pe")
+        and adg.node(link.dst).KIND in ("switch", "pe")
+    ]
+    if not links:
+        return None
+    link = mutator.rng.choice(links)
+    adg.remove_link(link.link_id)
+    return str(link)
+
+
+def _toggle_pe_scheduling(mutator, adg):
+    pe = mutator._random_pe(adg)
+    if pe.is_dynamic:
+        pe.scheduling = Scheduling.STATIC
+        pe.op_names.discard("sjoin")
+    else:
+        pe.scheduling = Scheduling.DYNAMIC
+    return f"{pe.name} -> {pe.scheduling.value}"
+
+
+def _toggle_pe_sharing(mutator, adg):
+    pe = mutator._random_pe(adg)
+    if pe.is_shared:
+        pe.resourcing = Resourcing.DEDICATED
+        pe.max_instructions = 1
+    else:
+        pe.resourcing = Resourcing.SHARED
+        pe.max_instructions = mutator.rng.choice([4, 8, 16])
+    return f"{pe.name} -> {pe.resourcing.value}"
+
+
+def _mutate_pe_ops(mutator, adg):
+    rng = mutator.rng
+    pe = mutator._random_pe(adg)
+    group = rng.choice(_OP_GROUPS)
+    if group <= pe.op_names and len(pe.op_names - group) >= 2:
+        pe.op_names -= group
+        if not pe.is_dynamic:
+            pe.op_names.discard("sjoin")
+        action = "dropped"
+    else:
+        added = set(group)
+        if not pe.is_dynamic:
+            added.discard("sjoin")
+        pe.op_names |= added
+        action = "added"
+    if not pe.op_names:
+        pe.op_names = {"add", "copy"}
+    return f"{pe.name} {action} fu group"
+
+
+def _mutate_pe_decompose(mutator, adg):
+    pe = mutator._random_pe(adg)
+    pe.decomposable_to = mutator.rng.choice(
+        [pe.width, pe.width, pe.width // 2 or 8, 16, 8]
+    )
+    if pe.decomposable_to > pe.width:
+        pe.decomposable_to = pe.width
+    return f"{pe.name} decompose_to={pe.decomposable_to}"
+
+
+def _mutate_delay_depth(mutator, adg):
+    pe = mutator._random_pe(adg)
+    pe.delay_fifo_depth = mutator.rng.choice([4, 8, 16, 24, 32])
+    return f"{pe.name} delay_depth={pe.delay_fifo_depth}"
+
+
+def _mutate_spad(mutator, adg):
+    rng = mutator.rng
+    spad = adg.scratchpad()
+    if spad is None:
+        return None
+    choice = rng.choice(["banks", "indirect", "atomic", "width", "slots",
+                         "capacity", "coalescing"])
+    if choice == "banks":
+        spad.banks = rng.choice([1, 2, 4, 8, 16])
+        if spad.banks == 1 and spad.atomic_update:
+            spad.banks = 2
+    elif choice == "indirect":
+        spad.indirect = not spad.indirect
+        if not spad.indirect:
+            spad.atomic_update = False
+    elif choice == "atomic":
+        spad.atomic_update = not spad.atomic_update and spad.indirect
+    elif choice == "width":
+        spad.width_bytes = rng.choice([16, 32, 64, 128])
+        spad.width = spad.width_bytes * 8
+    elif choice == "slots":
+        spad.num_stream_slots = rng.choice([4, 8, 16, 32])
+    elif choice == "coalescing":
+        spad.coalescing = not spad.coalescing
+    else:
+        spad.capacity_bytes = rng.choice([8, 16, 32, 64]) * 1024
+    return f"spad {choice}"
+
+
+def _mutate_sync(mutator, adg):
+    rng = mutator.rng
+    ports = adg.sync_elements()
+    if not ports:
+        return None
+    port = rng.choice(ports)
+    port.depth = rng.choice([2, 4, 8, 16])
+    return f"{port.name} depth={port.depth}"
+
+
+def _add_sync_port(mutator, adg):
+    rng = mutator.rng
+    direction = rng.choice([Direction.INPUT, Direction.OUTPUT])
+    prefix = "xin" if direction is Direction.INPUT else "xout"
+    port = SyncElement(
+        name=adg.new_name(prefix),
+        width=rng.choice([64, 128, 256]),
+        depth=rng.choice([4, 8]),
+        direction=direction,
+    )
+    adg.add(port)
+    switch = mutator._random_switch(adg)
+    memories = adg.memories()
+    if not memories:
+        adg.remove(port.name)
+        return None
+    if direction is Direction.INPUT:
+        for memory in memories:
+            adg.connect(memory, port,
+                        min(memory.bandwidth_bits, port.width))
+        adg.connect(port, switch)
+    else:
+        for memory in memories:
+            adg.connect(port, memory,
+                        min(memory.bandwidth_bits, port.width))
+        adg.connect(switch, port)
+    return port.name
+
+
+def _remove_sync_port(mutator, adg):
+    ports = adg.sync_elements()
+    inputs = [p for p in ports if p.direction is Direction.INPUT]
+    outputs = [p for p in ports if p.direction is Direction.OUTPUT]
+    candidates = []
+    if len(inputs) > 2:
+        candidates += inputs
+    if len(outputs) > 1:
+        candidates += outputs
+    if not candidates:
+        return None
+    port = mutator.rng.choice(candidates)
+    adg.remove(port.name)
+    return port.name
+
+
+def trim_unused_features(adg, schedules):
+    """The explorer's cleanup move: drop FU groups no schedule uses and
+    disable unused memory controllers (the paper's second-iteration
+    "redundant features are removed" step, Figure 14)."""
+    used_ops = set()
+    indirect_used = False
+    atomic_used = False
+    for schedule in schedules:
+        if schedule is None:
+            continue
+        for region in schedule.regions():
+            used_ops |= region.dfg.required_ops()
+            for stream in region.streams():
+                from repro.ir.stream import IndirectStream, UpdateStream
+
+                if isinstance(stream, UpdateStream):
+                    atomic_used = True
+                    indirect_used = True
+                elif isinstance(stream, IndirectStream):
+                    indirect_used = True
+    changes = 0
+    for pe in adg.pes():
+        keep = pe.op_names & used_ops
+        if keep and keep != pe.op_names:
+            pe.op_names = set(keep)
+            changes += 1
+    spad = adg.scratchpad()
+    if spad is not None:
+        if spad.atomic_update and not atomic_used:
+            spad.atomic_update = False
+            changes += 1
+        if spad.indirect and not indirect_used:
+            spad.indirect = False
+            changes += 1
+    return changes
+
+
+MUTATIONS = {
+    "add_pe": _add_pe,
+    "remove_pe": _remove_pe,
+    "add_switch": _add_switch,
+    "remove_switch": _remove_switch,
+    "add_link": _add_link,
+    "remove_link": _remove_link,
+    "toggle_scheduling": _toggle_pe_scheduling,
+    "toggle_sharing": _toggle_pe_sharing,
+    "mutate_ops": _mutate_pe_ops,
+    "mutate_decompose": _mutate_pe_decompose,
+    "mutate_delay": _mutate_delay_depth,
+    "mutate_spad": _mutate_spad,
+    "mutate_sync": _mutate_sync,
+    "add_sync_port": _add_sync_port,
+    "remove_sync_port": _remove_sync_port,
+}

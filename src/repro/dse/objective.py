@@ -1,0 +1,51 @@
+"""The co-design objective: perf^2 / mm^2 under area/power budgets."""
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DseObjective:
+    """Evaluates candidate designs.
+
+    Performance per kernel is ``1 / estimated cycles``; the aggregate is
+    the geometric mean of per-kernel speedups over the baseline cycle
+    counts (set once from the initial hardware), squared, divided by the
+    estimated area. Budget violations return -inf so candidates above
+    budget are never accepted (Section V step 2a).
+    """
+
+    area_budget_mm2: float = 10.0
+    power_budget_mw: float = 1000.0
+    baseline_cycles: dict = field(default_factory=dict)
+
+    def set_baseline(self, kernel_cycles):
+        """Record the initial hardware's per-kernel cycles."""
+        self.baseline_cycles = dict(kernel_cycles)
+
+    def speedups(self, kernel_cycles):
+        result = {}
+        for name, cycles in kernel_cycles.items():
+            base = self.baseline_cycles.get(name, cycles)
+            result[name] = base / cycles if cycles > 0 else 0.0
+        return result
+
+    def aggregate_performance(self, kernel_cycles):
+        """Geomean speedup over the baseline (0 when any kernel failed)."""
+        if not kernel_cycles:
+            return 0.0
+        values = list(self.speedups(kernel_cycles).values())
+        if any(v <= 0 for v in values):
+            return 0.0
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    def score(self, kernel_cycles, area_mm2, power_mw):
+        """perf^2 / mm^2, or -inf above budget / on failure."""
+        if area_mm2 > self.area_budget_mm2:
+            return float("-inf")
+        if power_mw > self.power_budget_mw:
+            return float("-inf")
+        performance = self.aggregate_performance(kernel_cycles)
+        if performance <= 0 or area_mm2 <= 0:
+            return float("-inf")
+        return performance * performance / area_mm2

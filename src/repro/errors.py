@@ -1,0 +1,67 @@
+"""Exception hierarchy for the DSAGEN reproduction.
+
+Every subsystem raises a subclass of :class:`DsagenError` so callers can
+catch framework errors without masking programming mistakes.
+"""
+
+
+class DsagenError(Exception):
+    """Base class for all framework errors."""
+
+
+class AdgError(DsagenError):
+    """Malformed or inconsistent architecture description graph."""
+
+
+class AdgValidationError(AdgError):
+    """An ADG violates a composition rule (Section III-B of the paper)."""
+
+
+class IrError(DsagenError):
+    """Malformed dataflow IR."""
+
+
+class FrontendError(DsagenError):
+    """Source program could not be parsed or analyzed."""
+
+
+class ParseError(FrontendError):
+    """Syntax error in the C-subset frontend."""
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+
+
+class SemanticError(FrontendError):
+    """Program is syntactically valid but semantically ill-formed."""
+
+
+class CompilationError(DsagenError):
+    """The compiler could not produce a legal program for the target ADG."""
+
+
+class SchedulingError(CompilationError):
+    """The spatial scheduler failed to find a legal mapping."""
+
+
+class EstimationError(DsagenError):
+    """Performance or power/area estimation failed."""
+
+
+class DseError(DsagenError):
+    """Design-space exploration failed."""
+
+
+class HwGenError(DsagenError):
+    """Hardware generation (bitstream / RTL / config path) failed."""
+
+
+class SimulationError(DsagenError):
+    """Cycle-level simulation reached an illegal state."""

@@ -1,0 +1,33 @@
+"""Performance and power/area estimation.
+
+* :mod:`repro.estimation.perf_model` — the analytical performance model
+  of Section V-B (IPC = #insts x activity ratio, limited by memory
+  bandwidth and dependence latency).
+* :mod:`repro.estimation.synth_db` — a synthetic stand-in for the paper's
+  Synopsys DC @ 28 nm component synthesis runs: an analytical gate/energy
+  cost model with deterministic measurement noise.
+* :mod:`repro.estimation.regression` — least-squares regression fitted on
+  the synthesis dataset (Section V-C), one model per component type.
+* :mod:`repro.estimation.power_area` — apply the regression to whole
+  ADGs; "synthesize" whole fabrics for model validation (Figure 15).
+"""
+
+from repro.estimation.perf_model import PerfEstimate, PerformanceModel
+from repro.estimation.power_area import (
+    AreaPowerModel,
+    default_model,
+    estimate_area_power,
+    synthesize_adg,
+)
+from repro.estimation.synth_db import generate_dataset, synthesize_component
+
+__all__ = [
+    "PerformanceModel",
+    "PerfEstimate",
+    "AreaPowerModel",
+    "default_model",
+    "estimate_area_power",
+    "synthesize_adg",
+    "generate_dataset",
+    "synthesize_component",
+]

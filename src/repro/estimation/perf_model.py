@@ -1,0 +1,235 @@
+"""The analytical performance model (Section V-B).
+
+``IPC = #Insts x ActivityRatio`` where the activity ratio is limited
+either by memory bandwidth or by dependences:
+
+* the **memory** ratio compares the cycles each memory needs to service a
+  region's line requests (indirect requests are spread over banks)
+  against the compute pipeline's cycles;
+* the **dependence** ratio is ``concurrent instances that can hide the
+  dependence / dependence latency`` — accumulators and self-recurrence
+  streams serialize successive instances unless the compiler provisioned
+  parallel chains (``partial_sums``) or deep-enough recycling buffers
+  (``recurrence_concurrency``).
+
+Cycle estimates feed both code-generation version selection
+(Section IV-C) and the DSE objective (Section V).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.adg.components import Memory
+from repro.ir.region import as_stream_list
+from repro.ir.stream import (
+    ConstStream,
+    IndirectStream,
+    RecurrenceStream,
+    stream_requests,
+)
+from repro.isa.opcodes import OPCODES
+
+
+@dataclass
+class RegionPerf:
+    """Per-region estimate."""
+
+    instances: int = 0
+    ii: int = 1
+    bandwidth_ratio: float = 1.0
+    dependence_ratio: float = 1.0
+    activity: float = 1.0
+    pipeline_latency: int = 0
+    control_cycles: int = 0
+    cycles: float = 0.0
+    memory_cycles: dict = field(default_factory=dict)
+
+
+@dataclass
+class PerfEstimate:
+    """Whole-scope estimate."""
+
+    cycles: float = 0.0
+    ipc: float = 0.0
+    regions: dict = field(default_factory=dict)
+
+    def __repr__(self):
+        return f"PerfEstimate(cycles={self.cycles:.0f}, ipc={self.ipc:.2f})"
+
+
+class PerformanceModel:
+    """Analytical cycle/IPC estimator.
+
+    Parameters
+    ----------
+    cycles_per_command:
+        Control-core cycles to issue one stream command (stream-dataflow
+        intrinsics are a few instructions each).
+    config_cycles:
+        One-off configuration time per scope; callers pass the value the
+        hardware generator computed for the design's config paths.
+    """
+
+    def __init__(self, cycles_per_command=4, config_cycles=64):
+        self.cycles_per_command = cycles_per_command
+        self.config_cycles = config_cycles
+
+    # ------------------------------------------------------------------
+    def estimate(self, scope, schedule=None, timing=None):
+        """Estimate ``scope``'s execution on the schedule's hardware.
+
+        ``timing`` is a :class:`~repro.scheduler.timing.TimingResult`;
+        when absent (or when the region was not mapped) structural
+        defaults are used, which lets the model run pre-scheduling for
+        version pruning.
+        """
+        estimate = PerfEstimate()
+        barrier_groups = self._barrier_groups(scope)
+        total_cycles = float(self.config_cycles)
+        total_insts = 0.0
+        for group in barrier_groups:
+            group_cycles = 0.0
+            group_memory_cycles = {}
+            for region in group:
+                perf = self._estimate_region(region, schedule, timing)
+                estimate.regions[region.name] = perf
+                group_cycles = max(group_cycles, perf.cycles * region.frequency)
+                insts = region.source_insts or len(region.dfg.instructions())
+                total_insts += insts * perf.instances * region.frequency
+                for memory_name, mem_cycles in perf.memory_cycles.items():
+                    group_memory_cycles[memory_name] = (
+                        group_memory_cycles.get(memory_name, 0.0)
+                        + mem_cycles * region.frequency
+                    )
+            # Concurrent regions share each memory's bandwidth: the group
+            # cannot finish before any memory finishes its traffic.
+            if group_memory_cycles:
+                group_cycles = max(
+                    group_cycles, max(group_memory_cycles.values())
+                )
+            total_cycles += group_cycles
+        estimate.cycles = max(1.0, total_cycles)
+        estimate.ipc = total_insts / estimate.cycles
+        return estimate
+
+    def _barrier_groups(self, scope):
+        """Regions between barriers run concurrently; barriers serialize."""
+        groups = []
+        current = []
+        barrier_set = set(scope.barriers)
+        for region in scope.regions:
+            current.append(region)
+            if region.name in barrier_set:
+                groups.append(current)
+                current = []
+        if current:
+            groups.append(current)
+        return groups or [[]]
+
+    # ------------------------------------------------------------------
+    def _estimate_region(self, region, schedule, timing):
+        perf = RegionPerf()
+        perf.instances = self._instances(region)
+        region_timing = None
+        if timing is not None:
+            region_timing = timing.regions.get(region.name)
+        if region_timing is not None:
+            perf.ii = region_timing.ii
+            perf.pipeline_latency = region_timing.latency
+            recurrence = region_timing.recurrence_latency
+        else:
+            perf.ii = 1
+            perf.pipeline_latency = region.dfg.longest_path_latency()
+            recurrence = max(
+                (OPCODES[n.op].latency
+                 for n in region.dfg.instructions() if n.reduction),
+                default=0,
+            )
+
+        perf.dependence_ratio = self._dependence_ratio(region, recurrence)
+        perf.bandwidth_ratio, perf.memory_cycles = self._bandwidth_ratio(
+            region, schedule, perf.instances, perf.ii
+        )
+        perf.activity = min(perf.bandwidth_ratio, perf.dependence_ratio)
+        perf.control_cycles = self.cycles_per_command * len(region.streams())
+        busy = perf.instances * perf.ii / max(perf.activity, 1e-9)
+        # The core issues stream commands while earlier streams flow, so
+        # control overlaps with compute; whichever pipeline is longer
+        # bounds the region.
+        perf.cycles = max(busy, perf.control_cycles) + perf.pipeline_latency
+        return perf
+
+    def _instances(self, region):
+        try:
+            count = region.instance_count()
+        except Exception:
+            count = 0
+        return count or region.expected_instances or 1
+
+    def _dependence_ratio(self, region, recurrence_latency):
+        """min(1, concurrency / latency) per Section V-B."""
+        if recurrence_latency <= 1:
+            return 1.0
+        concurrency = max(
+            region.metadata.get("partial_sums", 1),
+            region.metadata.get("recurrence_concurrency", 1),
+        )
+        return min(1.0, concurrency / recurrence_latency)
+
+    def _bandwidth_ratio(self, region, schedule, instances, ii):
+        """Per-memory memory cycles and the resulting activity ratio.
+
+        Returns ``(ratio, {memory_name: cycles})``.
+        """
+        if instances <= 0:
+            return 1.0, {}
+        memory_cycles = {}
+        for port, binding in list(region.input_streams.items()) + list(
+            region.output_streams.items()
+        ):
+            for stream in as_stream_list(binding):
+                if isinstance(stream, (ConstStream, RecurrenceStream)):
+                    continue
+                memory = self._bound_memory(schedule, region, port)
+                line_words = 8
+                banks = 1
+                coalescing = False
+                if memory is not None:
+                    line_words = max(
+                        1, memory.width_bytes // stream.word_bytes
+                    )
+                    banks = memory.banks
+                    coalescing = memory.coalescing
+                key = memory.name if memory is not None else "__default__"
+                requests = stream_requests(
+                    stream, line_words=line_words, coalescing=coalescing
+                )
+                if getattr(stream, "scalarized", False):
+                    # Fallback: the control core dereferences each index
+                    # itself (Section IV-C "generate scalar operations").
+                    from repro.compiler.transforms.indirect import (
+                        SCALAR_ACCESS_CYCLES,
+                    )
+
+                    cycles = float(stream.volume() * SCALAR_ACCESS_CYCLES)
+                elif isinstance(stream, IndirectStream):
+                    # Indirect requests spread across banks.
+                    cycles = requests / max(1, banks)
+                else:
+                    cycles = float(requests)
+                memory_cycles[key] = memory_cycles.get(key, 0.0) + cycles
+        if not memory_cycles:
+            return 1.0, {}
+        compute_cycles = max(1.0, float(instances * ii))
+        worst = max(memory_cycles.values())
+        if worst <= 0:
+            return 1.0, memory_cycles
+        return min(1.0, compute_cycles / worst), memory_cycles
+
+    def _bound_memory(self, schedule, region, port):
+        if schedule is None:
+            return None
+        name = schedule.stream_binding.get((region.name, port))
+        if name is None or not schedule.adg.has_node(name):
+            return None
+        memory = schedule.adg.node(name)
+        return memory if isinstance(memory, Memory) else None

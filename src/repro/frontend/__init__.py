@@ -1,0 +1,33 @@
+"""C-subset frontend with ``#pragma dsa`` annotations (Section IV-B).
+
+The paper programs accelerators in C plus three pragmas::
+
+    #pragma dsa config        // reconfiguration scope; regions inside
+    {                         // are concurrent
+      #pragma dsa decouple    // no unknown aliasing: loads may hoist
+      for (int i = 0; i < n; ++i) {
+        #pragma dsa offload   // this loop runs on the fabric
+        for (int j = 0; j < n; ++j)
+          c[i * n + j] = a[i * n + j] * b[j];
+      }
+    }
+
+This package substitutes for the paper's Clang/LLVM flow:
+
+* :mod:`repro.frontend.lexer` / :mod:`repro.frontend.parser` — tokenize
+  and parse the C subset (functions, for loops, if/else, assignments,
+  arithmetic/comparison/ternary expressions, the three pragmas);
+* :mod:`repro.frontend.affine` — SCEV-style affine analysis of array
+  subscripts in terms of loop induction variables;
+* :mod:`repro.frontend.lower` — lowering to decoupled-dataflow kernels:
+  loads/stores become streams (linear or indirect), if/else becomes
+  select dataflow, ``+=`` accumulators become reductions, and the
+  result is a :class:`repro.compiler.kernel.Kernel` whose variant space
+  covers vectorization and (when patterns match) indirect encoding.
+"""
+
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.parser import parse
+from repro.frontend.lower import compile_c
+
+__all__ = ["tokenize", "Token", "parse", "compile_c"]

@@ -1,0 +1,121 @@
+"""SCEV-style affine analysis (the LLVM SCEV stand-in, Section IV-C).
+
+Expressions over loop induction variables and compile-time-bound scalar
+parameters reduce to the form ``const + sum(coeff_i * var_i)``.
+Array subscripts that reduce this way become linear streams; subscripts
+containing a nested array read become indirect streams; anything else is
+rejected.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import SemanticError
+from repro.frontend.ast_nodes import BinOp, Index, Num, UnaryOp, Var
+
+
+@dataclass
+class Affine:
+    """``constant + sum(coeffs[var] * var)``."""
+
+    constant: int = 0
+    coeffs: dict = field(default_factory=dict)
+
+    def coeff(self, var):
+        return self.coeffs.get(var, 0)
+
+    @property
+    def is_constant(self):
+        return not any(self.coeffs.values())
+
+    def __add__(self, other):
+        coeffs = dict(self.coeffs)
+        for var, coeff in other.coeffs.items():
+            coeffs[var] = coeffs.get(var, 0) + coeff
+        return Affine(self.constant + other.constant, coeffs)
+
+    def __sub__(self, other):
+        coeffs = dict(self.coeffs)
+        for var, coeff in other.coeffs.items():
+            coeffs[var] = coeffs.get(var, 0) - coeff
+        return Affine(self.constant - other.constant, coeffs)
+
+    def scaled(self, factor):
+        return Affine(
+            self.constant * factor,
+            {var: coeff * factor for var, coeff in self.coeffs.items()},
+        )
+
+    def __repr__(self):
+        terms = [str(self.constant)] + [
+            f"{coeff}*{var}" for var, coeff in sorted(self.coeffs.items())
+            if coeff
+        ]
+        return " + ".join(terms)
+
+
+def analyze_affine(expr, env, loop_vars):
+    """Reduce ``expr`` to an :class:`Affine` over ``loop_vars``.
+
+    ``env`` maps scalar parameter names to integer values. Returns None
+    when the expression is not affine (e.g. contains an array read).
+    """
+    if isinstance(expr, Num):
+        if expr.value != int(expr.value):
+            return None
+        return Affine(constant=int(expr.value))
+    if isinstance(expr, Var):
+        if expr.name in loop_vars:
+            return Affine(coeffs={expr.name: 1})
+        if expr.name in env:
+            return Affine(constant=int(env[expr.name]))
+        return None
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        inner = analyze_affine(expr.operand, env, loop_vars)
+        return inner.scaled(-1) if inner is not None else None
+    if isinstance(expr, BinOp):
+        left = analyze_affine(expr.left, env, loop_vars)
+        right = analyze_affine(expr.right, env, loop_vars)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            if left.is_constant:
+                return right.scaled(left.constant)
+            if right.is_constant:
+                return left.scaled(right.constant)
+            return None
+        if expr.op == "/" and right.is_constant and right.constant:
+            if left.is_constant and left.constant % right.constant == 0:
+                return Affine(constant=left.constant // right.constant)
+            return None
+    return None
+
+
+def evaluate_constant(expr, env):
+    """Fold ``expr`` to an integer; raises :class:`SemanticError` if it
+    involves loop variables or arrays."""
+    affine = analyze_affine(expr, env, loop_vars=())
+    if affine is None or not affine.is_constant:
+        raise SemanticError(
+            f"expected a compile-time constant, got {expr!r}"
+        )
+    return affine.constant
+
+
+def find_indirect(expr):
+    """If ``expr`` is (or contains, at the top additive level) exactly one
+    array read used as a subscript component, return it; else None."""
+    if isinstance(expr, Index):
+        return expr
+    if isinstance(expr, BinOp) and expr.op in ("+", "-", "*"):
+        left = find_indirect(expr.left)
+        right = find_indirect(expr.right)
+        if left is not None and right is not None:
+            return None  # two reads: unsupported
+        return left or right
+    if isinstance(expr, UnaryOp):
+        return find_indirect(expr.operand)
+    return None

@@ -1,0 +1,70 @@
+"""Tokenizer for the C subset.
+
+Produces a flat token stream; ``#pragma dsa ...`` lines become dedicated
+PRAGMA tokens (value = the words after ``dsa``). Comments (``//`` and
+``/* */``) are stripped.
+"""
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "void", "int", "long", "float", "double", "for", "if", "else",
+    "return", "const",
+}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<pragma>\#pragma[^\n]*)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<number>(\d+\.\d*([eE][-+]?\d+)?[fF]?)|(\.\d+([eE][-+]?\d+)?[fF]?)
+      |(\d+([eE][-+]?\d+)[fF]?)|(\d+[fF]?))
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><<=?|>>=?|\+\+|--|\+=|-=|\*=|/=|%=|&&|\|\||[=!<>]=|[-+*/%<>=!&|^~?:;,.(){}\[\]])
+  | (?P<space>\s+)
+""", re.VERBOSE | re.DOTALL)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str     # 'pragma' | 'number' | 'name' | 'keyword' | 'op' | 'eof'
+    value: str
+    line: int
+
+    def __repr__(self):
+        return f"{self.kind}:{self.value!r}@{self.line}"
+
+
+def tokenize(source):
+    """Tokenize ``source``; raises :class:`ParseError` on junk."""
+    tokens = []
+    position = 0
+    line = 1
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[position]!r}", line=line
+            )
+        text = match.group(0)
+        if match.lastgroup == "pragma":
+            body = text[len("#pragma"):].strip()
+            if body.startswith("dsa"):
+                tokens.append(Token(
+                    "pragma", body[len("dsa"):].strip(), line
+                ))
+            # Non-dsa pragmas are ignored, like a real compiler would.
+        elif match.lastgroup == "number":
+            tokens.append(Token("number", text, line))
+        elif match.lastgroup == "name":
+            kind = "keyword" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, line))
+        elif match.lastgroup == "op":
+            tokens.append(Token("op", text, line))
+        line += text.count("\n")
+        position = match.end()
+    tokens.append(Token("eof", "", line))
+    return tokens

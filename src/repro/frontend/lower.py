@@ -1,0 +1,822 @@
+"""Lowering from the C AST to decoupled-dataflow kernels.
+
+Per annotated source function, :func:`compile_c` produces a
+:class:`repro.compiler.kernel.Kernel` whose
+
+* builder lowers each offload loop to an
+  :class:`~repro.ir.region.OffloadRegion` — array reads/writes with
+  affine subscripts become linear streams, ``a[b[i]]`` reads become
+  indirect gathers (with the scalar fallback as a variant dimension),
+  ``acc +=`` updates become reductions, and if/else & ternaries become
+  select dataflow (the control-to-data transformation of Figure 6);
+* reference implementation *interprets the C AST directly*, so compiled
+  output is always checked against the source semantics;
+* variant space exposes the vectorization degree and indirect encoding.
+
+Supported shape per offload loop: an optional enclosing for loop (giving
+2-D streams), scalar temporaries, one accumulator pattern, and
+straight-line/if-else bodies. This covers the paper's programming
+examples; more complex kernels use the Python builder API directly.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.compiler.kernel import Kernel, VariantSpace
+from repro.compiler.transforms.indirect import gather_stream, index_stream
+from repro.errors import CompilationError, SemanticError
+from repro.frontend.affine import (
+    analyze_affine,
+    evaluate_constant,
+    find_indirect,
+)
+from repro.frontend.ast_nodes import (
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Declare,
+    For,
+    If,
+    Index,
+    Num,
+    Ternary,
+    UnaryOp,
+    Var,
+)
+from repro.frontend.parser import parse
+from repro.ir.dfg import Dfg
+from repro.ir.region import ConfigScope, OffloadRegion
+from repro.ir.stream import LinearStream, StreamDirection
+from repro.workloads import util
+
+_FP_TYPES = {"float", "double"}
+
+_INT_OPS = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+            "<": "cmp_lt", ">": "cmp_gt", "==": "cmp_eq", "!=": "cmp_ne",
+            "<=": "cmp_le", ">=": "cmp_ge"}
+_FP_OPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv",
+           "<": "fcmp_lt", ">": "fcmp_gt", "==": "fcmp_eq"}
+_FP_CALLS = {"sqrt": "fsqrt", "sqrtf": "fsqrt", "fabs": "fabs",
+             "fabsf": "fabs", "fmin": "fmin", "fmax": "fmax",
+             "sigmoid": "sigmoid", "tanh": "tanh", "exp": "exp",
+             "min": "fmin", "max": "fmax", "abs": "fabs"}
+_INT_CALLS = {"min": "min", "max": "max", "abs": "abs"}
+
+
+def _structural_key(expr):
+    """A hashable key for expression identity that ignores source
+    locations (two textual occurrences of ``y[i]`` are the same target)."""
+    if isinstance(expr, Num):
+        return ("num", expr.value)
+    if isinstance(expr, Var):
+        return ("var", expr.name)
+    if isinstance(expr, Index):
+        return ("idx", expr.array, _structural_key(expr.subscript))
+    if isinstance(expr, BinOp):
+        return ("bin", expr.op, _structural_key(expr.left),
+                _structural_key(expr.right))
+    if isinstance(expr, UnaryOp):
+        return ("un", expr.op, _structural_key(expr.operand))
+    if isinstance(expr, Ternary):
+        return ("tern", _structural_key(expr.condition),
+                _structural_key(expr.if_true),
+                _structural_key(expr.if_false))
+    if isinstance(expr, Call):
+        return ("call", expr.name,
+                tuple(_structural_key(a) for a in expr.args))
+    return ("other", repr(expr))
+
+
+@dataclass
+class _LoopNest:
+    """One offload loop plus its optional enclosing loop."""
+
+    inner: For
+    outer: For = None
+    accumulator: Declare = None      # outer-scope scalar fed by '+='
+    post_stores: list = field(default_factory=list)  # after-loop assigns
+
+
+@dataclass
+class _Load:
+    """A distinct array read inside the offload body."""
+
+    port: str
+    array: str
+    affine: object = None            # linear subscript
+    indirect: object = None          # (index_array, index_affine, scale, off)
+
+
+class _FunctionLowering:
+    """Lowers one function for one unroll factor."""
+
+    def __init__(self, function, env, array_types, unroll, use_indirect):
+        self.function = function
+        self.env = env
+        self.array_types = array_types
+        self.unroll = unroll
+        self.use_indirect = use_indirect
+        self.fp = any(t in _FP_TYPES for t in array_types.values())
+
+    # -- structure discovery ----------------------------------------------
+    def find_nests(self):
+        """Locate offload loops and their enclosing structure."""
+        nests = []
+
+        def walk(statements, enclosing):
+            index = 0
+            while index < len(statements):
+                statement = statements[index]
+                if isinstance(statement, Block):
+                    walk(statement.statements, enclosing)
+                elif isinstance(statement, For):
+                    if statement.offload:
+                        nests.append(_LoopNest(
+                            inner=statement, outer=enclosing
+                        ))
+                    else:
+                        walk(statement.body, statement)
+                index += 1
+        walk(self.function.body.statements, None)
+
+        # Attach accumulator declarations and post-loop stores.
+        for nest in nests:
+            if nest.outer is None:
+                continue
+            body = nest.outer.body
+            position = body.index(nest.inner)
+            for statement in body[:position]:
+                if isinstance(statement, Declare):
+                    nest.accumulator = statement
+            for statement in body[position + 1:]:
+                if isinstance(statement, Assign):
+                    nest.post_stores.append(statement)
+        if not nests:
+            raise SemanticError("no '#pragma dsa offload' loop found")
+        return nests
+
+    def trip(self, loop):
+        start = evaluate_constant(loop.start, self.env)
+        bound = evaluate_constant(loop.bound, self.env)
+        trip = max(0, (bound - start + loop.step - 1) // loop.step)
+        if loop.step != 1:
+            raise SemanticError("only unit-stride loops are supported")
+        if start != 0:
+            raise SemanticError("loops must start at zero")
+        return trip
+
+    # -- region construction ------------------------------------------------
+    def lower_nest(self, nest, region_name):
+        inner_trip = self.trip(nest.inner)
+        outer_trip = self.trip(nest.outer) if nest.outer else 1
+        util.require_divides(self.unroll, inner_trip,
+                             f"{region_name} inner trip")
+        loop_vars = [nest.inner.var]
+        if nest.outer:
+            loop_vars.append(nest.outer.var)
+
+        self.dfg = Dfg(region_name)
+        self.loads = {}
+        self.scalars = {}          # temporaries: name -> lane nodes
+        self.reductions = {}       # accumulator name -> node
+        self.stores = []           # (array, affine, lane_nodes)
+        self.nest = nest
+        self.loop_vars = loop_vars
+        self.inner_trip = inner_trip
+        self.outer_trip = outer_trip
+
+        if nest.accumulator is not None:
+            init = 0
+            if nest.accumulator.init is not None:
+                init = evaluate_constant(nest.accumulator.init, self.env)
+            self.reductions[nest.accumulator.name] = {
+                "node": None, "init": init,
+            }
+
+        self._lower_body(nest.inner.body)
+        return self._finish_region(region_name)
+
+    def _lower_body(self, statements):
+        for statement in statements:
+            if isinstance(statement, Declare):
+                if statement.init is None:
+                    raise SemanticError(
+                        f"temporary {statement.name!r} needs an initializer"
+                    )
+                self.scalars[statement.name] = self._lanes(statement.init)
+            elif isinstance(statement, Assign):
+                self._lower_assign(statement)
+            elif isinstance(statement, If):
+                self._lower_if(statement)
+            else:
+                raise SemanticError(
+                    f"unsupported statement in offload body: "
+                    f"{type(statement).__name__}"
+                )
+
+    def _lower_assign(self, statement):
+        if isinstance(statement.target, Var):
+            name = statement.target.name
+            if name in self.reductions and statement.op in ("+=", "-="):
+                value = statement.value
+                if statement.op == "-=":
+                    value = UnaryOp("-", value)
+                lanes = self._lanes(value)
+                tree = self._reduce_lanes(lanes)
+                record = self.reductions[name]
+                if record["node"] is not None:
+                    raise SemanticError(
+                        f"accumulator {name!r} updated twice"
+                    )
+                record["node"] = self.dfg.add_instr(
+                    "fadd" if self.fp else "acc", [tree],
+                    reduction=True,
+                    emit_every=self.inner_trip // self.unroll,
+                    init=record["init"],
+                )
+                return
+            if statement.op != "=":
+                raise SemanticError(
+                    f"compound assignment to scalar {name!r} outside an "
+                    f"accumulator pattern"
+                )
+            self.scalars[name] = self._lanes(statement.value)
+            return
+        # Array store.
+        target = statement.target
+        value = statement.value
+        if statement.op in ("+=", "-=", "*="):
+            load = Index(target.array, target.subscript)
+            op = statement.op[0]
+            value = BinOp(op, load, statement.value)
+        affine = analyze_affine(target.subscript, self.env, self.loop_vars)
+        if affine is None:
+            raise SemanticError(
+                f"store subscript into {target.array!r} is not affine"
+            )
+        self.stores.append((target.array, affine, self._lanes(value)))
+
+    def _lower_if(self, statement):
+        """Control-to-data conversion (Figure 6): both branches execute;
+        a select picks per assigned target."""
+        condition = self._lanes(statement.condition)
+
+        def targets_of(body):
+            result = {}
+            for inner in body:
+                if not isinstance(inner, Assign):
+                    raise SemanticError(
+                        "if bodies may only contain assignments"
+                    )
+                key = self._target_key(inner.target)
+                result[key] = inner
+            return result
+
+        then_map = targets_of(statement.then_body)
+        else_map = targets_of(statement.else_body)
+        for key in sorted(set(then_map) | set(else_map)):
+            then_assign = then_map.get(key)
+            else_assign = else_map.get(key)
+            sample = (then_assign or else_assign).target
+            then_lanes = (self._lanes(then_assign.value)
+                          if then_assign else self._current_value(sample))
+            else_lanes = (self._lanes(else_assign.value)
+                          if else_assign else self._current_value(sample))
+            selected = [
+                self.dfg.add_instr(
+                    "select", [condition[lane], then_lanes[lane],
+                               else_lanes[lane]]
+                )
+                for lane in range(self.unroll)
+            ]
+            self._store_lanes(sample, selected)
+
+    def _target_key(self, target):
+        if isinstance(target, Var):
+            return ("var", target.name)
+        return ("array", target.array, _structural_key(target.subscript))
+
+    def _current_value(self, target):
+        if isinstance(target, Var):
+            if target.name in self.scalars:
+                return self.scalars[target.name]
+            raise SemanticError(
+                f"variable {target.name!r} read before assignment"
+            )
+        return self._lanes(target)
+
+    def _store_lanes(self, target, lanes):
+        if isinstance(target, Var):
+            self.scalars[target.name] = lanes
+            return
+        affine = analyze_affine(target.subscript, self.env, self.loop_vars)
+        if affine is None:
+            raise SemanticError(
+                f"store subscript into {target.array!r} is not affine"
+            )
+        self.stores.append((target.array, affine, lanes))
+
+    # -- expression lowering -------------------------------------------------
+    def _reduce_lanes(self, lanes):
+        from repro.compiler.transforms.vectorize import reduction_tree
+
+        if len(lanes) == 1:
+            return lanes[0]
+        return reduction_tree(self.dfg, "fadd" if self.fp else "add", lanes)
+
+    def _lanes(self, expr):
+        """Lower ``expr`` to one DFG operand per lane."""
+        if isinstance(expr, Num):
+            const = self.dfg.add_const(
+                float(expr.value) if self.fp else int(expr.value)
+            )
+            return [const] * self.unroll
+        if isinstance(expr, Var):
+            if expr.name in self.scalars:
+                return self.scalars[expr.name]
+            if expr.name in self.env:
+                const = self.dfg.add_const(self.env[expr.name])
+                return [const] * self.unroll
+            if expr.name in self.loop_vars:
+                raise SemanticError(
+                    f"loop variable {expr.name!r} used as a value "
+                    f"(only subscripts may use it)"
+                )
+            raise SemanticError(f"unknown variable {expr.name!r}")
+        if isinstance(expr, Index):
+            load = self._load_port(expr)
+            input_node = self._input_node(load)
+            broadcast = (load.affine is not None
+                         and load.affine.coeff(self.nest.inner.var) == 0)
+            return [
+                (input_node, 0 if broadcast else lane)
+                for lane in range(self.unroll)
+            ]
+        if isinstance(expr, UnaryOp):
+            operand = self._lanes(expr.operand)
+            if expr.op == "-":
+                op = "fneg" if self.fp else "neg"
+                return [
+                    self.dfg.add_instr(op, [operand[lane]])
+                    for lane in range(self.unroll)
+                ]
+            raise SemanticError(f"unsupported unary operator {expr.op!r}")
+        if isinstance(expr, BinOp):
+            table = _FP_OPS if self.fp else _INT_OPS
+            if expr.op not in table:
+                raise SemanticError(
+                    f"unsupported operator {expr.op!r} "
+                    f"{'(fp mode)' if self.fp else ''}"
+                )
+            left = self._lanes(expr.left)
+            right = self._lanes(expr.right)
+            return [
+                self.dfg.add_instr(table[expr.op],
+                                   [left[lane], right[lane]])
+                for lane in range(self.unroll)
+            ]
+        if isinstance(expr, Ternary):
+            condition = self._lanes(expr.condition)
+            if_true = self._lanes(expr.if_true)
+            if_false = self._lanes(expr.if_false)
+            return [
+                self.dfg.add_instr(
+                    "select",
+                    [condition[lane], if_true[lane], if_false[lane]],
+                )
+                for lane in range(self.unroll)
+            ]
+        if isinstance(expr, Call):
+            table = _FP_CALLS if self.fp else _INT_CALLS
+            if expr.name not in table:
+                raise SemanticError(f"unsupported intrinsic {expr.name!r}")
+            args = [self._lanes(arg) for arg in expr.args]
+            return [
+                self.dfg.add_instr(
+                    table[expr.name], [arg[lane] for arg in args]
+                )
+                for lane in range(self.unroll)
+            ]
+        raise SemanticError(f"cannot lower expression {expr!r}")
+
+    # -- loads ---------------------------------------------------------------
+    def _load_port(self, index_expr):
+        affine = analyze_affine(index_expr.subscript, self.env,
+                                self.loop_vars)
+        if affine is not None:
+            key = ("lin", index_expr.array, affine.constant,
+                   tuple(sorted(affine.coeffs.items())))
+            if key not in self.loads:
+                self.loads[key] = _Load(
+                    port=f"p{len(self.loads)}",
+                    array=index_expr.array,
+                    affine=affine,
+                )
+            return self.loads[key]
+        # Indirect: subscript = scale * idx[affine] + const.
+        nested = find_indirect(index_expr.subscript)
+        if nested is None:
+            raise SemanticError(
+                f"subscript of {index_expr.array!r} is neither affine "
+                f"nor an indirect pattern"
+            )
+        nested_affine = analyze_affine(nested.subscript, self.env,
+                                       self.loop_vars)
+        if nested_affine is None:
+            raise SemanticError(
+                f"index array {nested.array!r} subscript is not affine"
+            )
+        scale, offset = self._split_indirect(index_expr.subscript, nested)
+        key = ("ind", index_expr.array, nested.array,
+               nested_affine.constant,
+               tuple(sorted(nested_affine.coeffs.items())), scale, offset)
+        if key not in self.loads:
+            self.loads[key] = _Load(
+                port=f"p{len(self.loads)}",
+                array=index_expr.array,
+                indirect=(nested.array, nested_affine, scale, offset),
+            )
+        return self.loads[key]
+
+    def _split_indirect(self, subscript, nested):
+        """Decompose ``subscript`` as ``scale * nested + offset``."""
+        marker = "__indirect__"
+
+        def fold(expr):
+            if expr is nested:
+                return Affine_marker()
+            if isinstance(expr, Num):
+                return float(expr.value)
+            if isinstance(expr, BinOp):
+                left = fold(expr.left)
+                right = fold(expr.right)
+                if expr.op == "+":
+                    return combine(left, right, 1, 1)
+                if expr.op == "-":
+                    return combine(left, right, 1, -1)
+                if expr.op == "*":
+                    if isinstance(left, float) and isinstance(
+                        right, Affine_marker
+                    ):
+                        right.scale *= left
+                        return right
+                    if isinstance(right, float) and isinstance(
+                        left, Affine_marker
+                    ):
+                        left.scale *= right
+                        return left
+                    if isinstance(left, float) and isinstance(right, float):
+                        return left * right
+                raise SemanticError("unsupported indirect subscript shape")
+            if isinstance(expr, Var) and expr.name in self.env:
+                return float(self.env[expr.name])
+            raise SemanticError("unsupported indirect subscript shape")
+
+        class Affine_marker:
+            def __init__(self):
+                self.scale = 1.0
+                self.offset = 0.0
+
+        def combine(left, right, ls, rs):
+            if isinstance(left, Affine_marker) and isinstance(right, float):
+                left.scale *= ls
+                left.offset = left.offset * ls + right * rs
+                return left
+            if isinstance(right, Affine_marker) and isinstance(left, float):
+                right.scale *= rs
+                right.offset = right.offset * rs + left * ls
+                return right
+            if isinstance(left, float) and isinstance(right, float):
+                return left * ls + right * rs
+            raise SemanticError("unsupported indirect subscript shape")
+
+        del marker
+        result = fold(subscript)
+        if not isinstance(result, Affine_marker):
+            raise SemanticError("indirect subscript did not isolate the "
+                                "index read")
+        return int(result.scale), int(result.offset)
+
+    def _input_node(self, load):
+        existing = {n.name: n for n in self.dfg.inputs()}
+        if load.port in existing:
+            return existing[load.port]
+        return self.dfg.add_input(load.port, lanes=self.unroll)
+
+    # -- streams ---------------------------------------------------------
+    def _linear_stream(self, affine, direction=StreamDirection.READ,
+                       length=None, outer_length=None):
+        inner_var = self.nest.inner.var
+        outer_var = self.nest.outer.var if self.nest.outer else None
+        return LinearStream(
+            "",  # array filled by caller
+            direction=direction,
+            offset=affine.constant,
+            stride=affine.coeff(inner_var),
+            length=length if length is not None else self.inner_trip,
+            outer_stride=(affine.coeff(outer_var) if outer_var else 0),
+            outer_length=(outer_length if outer_length is not None
+                          else self.outer_trip),
+        )
+
+    def _finish_region(self, region_name):
+        input_streams = {}
+        for load in self.loads.values():
+            if load.affine is not None:
+                stream = self._linear_stream(load.affine)
+                stream.array = load.array
+                input_streams[load.port] = stream
+            else:
+                idx_array, idx_affine, scale, offset = load.indirect
+                inner_var = self.nest.inner.var
+                outer_var = (self.nest.outer.var if self.nest.outer
+                             else None)
+                idx_stream = index_stream(
+                    idx_array,
+                    offset=idx_affine.constant,
+                    stride=idx_affine.coeff(inner_var),
+                    length=self.inner_trip,
+                    outer_stride=(idx_affine.coeff(outer_var)
+                                  if outer_var else 0),
+                    outer_length=self.outer_trip,
+                )
+                input_streams[load.port] = gather_stream(
+                    load.array, idx_stream,
+                    use_indirect=self.use_indirect,
+                    index_scale=scale, index_offset=offset,
+                )
+
+        output_streams = {}
+        inner_var = self.nest.inner.var
+        for position, (array, affine, lanes) in enumerate(self.stores):
+            port = f"o{position}"
+            if affine.coeff(inner_var) == 0:
+                raise SemanticError(
+                    f"store into {array!r} is loop-invariant in the "
+                    f"offload loop"
+                )
+            self.dfg.add_output(port, lanes)
+            stream = self._linear_stream(
+                affine, direction=StreamDirection.WRITE
+            )
+            stream.array = array
+            output_streams[port] = stream
+
+        # Accumulator emission: one value per outer iteration, stored by
+        # the recorded post-loop assignment.
+        for name, record in self.reductions.items():
+            if record["node"] is None:
+                raise SemanticError(
+                    f"accumulator {name!r} is never updated in the "
+                    f"offload loop"
+                )
+            store = self._find_accumulator_store(name)
+            affine = analyze_affine(
+                store.target.subscript, self.env,
+                [self.nest.outer.var] if self.nest.outer else [],
+            )
+            if affine is None:
+                raise SemanticError(
+                    f"accumulator store into {store.target.array!r} "
+                    f"is not affine"
+                )
+            port = f"acc_{name}"
+            self.dfg.add_output(port, record["node"])
+            outer_var = self.nest.outer.var if self.nest.outer else None
+            output_streams[port] = LinearStream(
+                store.target.array,
+                direction=StreamDirection.WRITE,
+                offset=affine.constant,
+                stride=affine.coeff(outer_var) if outer_var else 1,
+                length=self.outer_trip,
+            )
+
+        region = OffloadRegion(
+            region_name,
+            self.dfg,
+            input_streams=input_streams,
+            output_streams=output_streams,
+            vector_width=self.unroll,
+            source_insts=len(self.dfg.instructions()) + 4,
+        )
+        return region
+
+    def _find_accumulator_store(self, name):
+        for statement in self.nest.post_stores:
+            if (isinstance(statement.target, Index)
+                    and isinstance(statement.value, Var)
+                    and statement.value.name == name):
+                return statement
+        raise SemanticError(
+            f"accumulator {name!r} is never stored after the offload loop"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The AST interpreter: reference semantics straight from the source.
+# ---------------------------------------------------------------------------
+
+def _run_reference(function, env, memory):
+    scalars = dict(env)
+
+    def value(expr):
+        if isinstance(expr, Num):
+            return expr.value
+        if isinstance(expr, Var):
+            return scalars[expr.name]
+        if isinstance(expr, Index):
+            return memory[expr.array][int(value(expr.subscript))]
+        if isinstance(expr, UnaryOp):
+            inner = value(expr.operand)
+            return -inner if expr.op == "-" else (0 if inner else 1)
+        if isinstance(expr, BinOp):
+            left = value(expr.left)
+            right = value(expr.right)
+            ops = {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "/": lambda: left / right if right else 0,
+                "%": lambda: left % right if right else 0,
+                "<": lambda: int(left < right),
+                ">": lambda: int(left > right),
+                "<=": lambda: int(left <= right),
+                ">=": lambda: int(left >= right),
+                "==": lambda: int(left == right),
+                "!=": lambda: int(left != right),
+                "&&": lambda: int(bool(left) and bool(right)),
+                "||": lambda: int(bool(left) or bool(right)),
+            }
+            return ops[expr.op]()
+        if isinstance(expr, Ternary):
+            return (value(expr.if_true) if value(expr.condition)
+                    else value(expr.if_false))
+        if isinstance(expr, Call):
+            import math
+
+            table = {
+                "sqrt": math.sqrt, "sqrtf": math.sqrt, "fabs": abs,
+                "fabsf": abs, "abs": abs, "min": min, "max": max,
+                "fmin": min, "fmax": max, "tanh": math.tanh,
+                "exp": lambda v: math.exp(max(-60.0, min(60.0, v))),
+                "sigmoid": lambda v: 1.0 / (1.0 + math.exp(
+                    -max(-60.0, min(60.0, v)))),
+            }
+            return table[expr.name](*(value(a) for a in expr.args))
+        raise SemanticError(f"cannot evaluate {expr!r}")
+
+    def assign(statement):
+        new = value(statement.value)
+        if isinstance(statement.target, Var):
+            name = statement.target.name
+            old = scalars.get(name, 0)
+            scalars[name] = _apply(statement.op, old, new)
+        else:
+            data = memory[statement.target.array]
+            position = int(value(statement.target.subscript))
+            data[position] = _apply(statement.op, data[position], new)
+
+    def _apply(op, old, new):
+        if op == "=":
+            return new
+        if op == "+=":
+            return old + new
+        if op == "-=":
+            return old - new
+        if op == "*=":
+            return old * new
+        raise SemanticError(f"unsupported assignment {op!r}")
+
+    def run(statements):
+        for statement in statements:
+            if isinstance(statement, Block):
+                run(statement.statements)
+            elif isinstance(statement, Declare):
+                scalars[statement.name] = (
+                    value(statement.init) if statement.init is not None
+                    else 0
+                )
+            elif isinstance(statement, For):
+                start = int(value(statement.start))
+                bound = int(value(statement.bound))
+                for iteration in range(start, bound, statement.step):
+                    scalars[statement.var] = iteration
+                    run(statement.body)
+            elif isinstance(statement, If):
+                branch = (statement.then_body if value(statement.condition)
+                          else statement.else_body)
+                run(branch)
+            elif isinstance(statement, Assign):
+                assign(statement)
+            else:
+                raise SemanticError(
+                    f"cannot interpret {type(statement).__name__}"
+                )
+
+    run(function.body.statements)
+
+
+# ---------------------------------------------------------------------------
+# Public entry point
+# ---------------------------------------------------------------------------
+
+def compile_c(source, bindings, arrays, function=None, seed=0):
+    """Compile annotated C source into a :class:`Kernel`.
+
+    Parameters
+    ----------
+    bindings:
+        Values for the function's integer parameters (problem sizes).
+    arrays:
+        ``{array_name: length}`` for every pointer parameter; test data
+        is generated deterministically (outputs too — they are
+        overwritten, and the reference runs on an identical copy).
+    function:
+        Which function to compile (default: the first).
+    """
+    functions = parse(source)
+    chosen = functions[0]
+    if function is not None:
+        chosen = next(
+            (f for f in functions if f.name == function), None
+        )
+        if chosen is None:
+            raise SemanticError(f"no function named {function!r}")
+
+    array_types = {
+        p.name: p.ctype for p in chosen.params if p.is_pointer
+    }
+    missing = set(array_types) - set(arrays)
+    if missing:
+        raise SemanticError(f"missing array sizes for {sorted(missing)}")
+    env = {}
+    for param in chosen.params:
+        if param.is_pointer:
+            continue
+        if param.name not in bindings:
+            raise SemanticError(
+                f"missing binding for parameter {param.name!r}"
+            )
+        env[param.name] = int(bindings[param.name])
+    fp = any(t in _FP_TYPES for t in array_types.values())
+
+    probe = _FunctionLowering(chosen, env, array_types, 1, True)
+    nests = probe.find_nests()
+    inner_trips = [probe.trip(nest.inner) for nest in nests]
+    unrolls = tuple(
+        u for u in (1, 2, 4, 8)
+        if all(trip % u == 0 for trip in inner_trips)
+    ) or (1,)
+    has_indirect = False
+    try:
+        for index, nest in enumerate(nests):
+            region = probe.lower_nest(nest, f"{chosen.name}_r{index}")
+            has_indirect = has_indirect or any(
+                hasattr(s, "index") for s in region.streams()
+            )
+    except SemanticError:
+        raise
+
+    def builder(params):
+        lowering = _FunctionLowering(
+            chosen, env, array_types, params.unroll, params.use_indirect
+        )
+        scope = ConfigScope(chosen.name)
+        for index, nest in enumerate(lowering.find_nests()):
+            try:
+                scope.add(lowering.lower_nest(
+                    nest, f"{chosen.name}_r{index}"
+                ))
+            except SemanticError as exc:
+                raise CompilationError(str(exc)) from exc
+        return scope
+
+    def make_memory():
+        data = util.fp_data if fp else util.int_data
+        memory = {}
+        for name, size in arrays.items():
+            ctype = array_types.get(name, "double")
+            if ctype in _FP_TYPES:
+                memory[name] = data(size, (seed, name))
+            else:
+                memory[name] = util.int_data(
+                    size, (seed, name), low=0,
+                    high=max(1, size - 1),
+                )
+        return memory
+
+    def reference(memory):
+        _run_reference(chosen, env, memory)
+
+    return Kernel(
+        name=chosen.name,
+        builder=builder,
+        space=VariantSpace(
+            unroll_factors=unrolls, has_indirect=has_indirect
+        ),
+        reference=reference,
+        make_memory=make_memory,
+        domain="frontend",
+        source_insts_per_instance=8,
+        description=f"compiled from C source ({chosen.name})",
+    )

@@ -1,0 +1,305 @@
+"""Recursive-descent parser for the C subset.
+
+Grammar (informally)::
+
+    file      := function+
+    function  := type name '(' params ')' block
+    block     := '{' statement* '}'
+    statement := pragma? (for | if | declare | assign ';' | block)
+    for       := 'for' '(' init ';' cond ';' step ')' statement
+    expr      := ternary with C precedence for || && == != < > <= >=
+                 + - * / % and unary - !
+
+Pragmas attach to the following statement: ``config``/``decouple`` mark
+blocks (or the block of a following loop), ``offload`` marks a for loop.
+"""
+
+from repro.errors import ParseError
+from repro.frontend.ast_nodes import (
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Declare,
+    For,
+    Function,
+    If,
+    Index,
+    Num,
+    Param,
+    Ternary,
+    UnaryOp,
+    Var,
+)
+from repro.frontend.lexer import tokenize
+
+_INTRINSICS = {
+    "sqrt", "sqrtf", "fabs", "fabsf", "min", "max", "fmin", "fmax",
+    "sigmoid", "tanh", "exp", "abs",
+}
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self, offset=0):
+        return self.tokens[min(self.position + offset,
+                               len(self.tokens) - 1)]
+
+    def advance(self):
+        token = self.peek()
+        self.position += 1
+        return token
+
+    def expect(self, kind, value=None):
+        token = self.peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise ParseError(
+                f"expected {value or kind}, found {token.value!r}",
+                line=token.line,
+            )
+        return self.advance()
+
+    def accept(self, kind, value=None):
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    # -- top level --------------------------------------------------------
+    def parse_file(self):
+        functions = []
+        while self.peek().kind != "eof":
+            functions.append(self.parse_function())
+        if not functions:
+            raise ParseError("no functions found", line=1)
+        return functions
+
+    def parse_function(self):
+        line = self.peek().line
+        self.expect("keyword")  # return type
+        name = self.expect("name").value
+        self.expect("op", "(")
+        params = []
+        while not self.accept("op", ")"):
+            self.accept("keyword", "const")
+            ctype = self.expect("keyword").value
+            is_pointer = bool(self.accept("op", "*"))
+            pname = self.expect("name").value
+            params.append(Param(ctype, pname, is_pointer))
+            self.accept("op", ",")
+        body = self.parse_block()
+        return Function(name=name, params=params, body=body, line=line)
+
+    # -- statements --------------------------------------------------------
+    def parse_block(self, config=False, decouple=False):
+        line = self.expect("op", "{").line
+        block = Block(config=config, decouple=decouple, line=line)
+        while not self.accept("op", "}"):
+            block.statements.append(self.parse_statement())
+        return block
+
+    def parse_statement(self):
+        pragmas = []
+        while self.peek().kind == "pragma":
+            pragmas.append(self.advance().value)
+        token = self.peek()
+
+        config = "config" in pragmas
+        decouple = "decouple" in pragmas
+        offload = "offload" in pragmas
+
+        if token.kind == "op" and token.value == "{":
+            return self.parse_block(config=config, decouple=decouple)
+        if token.kind == "keyword" and token.value == "for":
+            loop = self.parse_for()
+            loop.offload = offload
+            if config or decouple:
+                wrapper = Block(config=config, decouple=decouple,
+                                line=loop.line)
+                wrapper.statements.append(loop)
+                return wrapper
+            return loop
+        if offload:
+            raise ParseError(
+                "offload pragma must precede a for loop", line=token.line
+            )
+        if token.kind == "keyword" and token.value == "if":
+            return self.parse_if()
+        if token.kind == "keyword":
+            return self.parse_declare()
+        statement = self.parse_assign()
+        self.expect("op", ";")
+        return statement
+
+    def parse_for(self):
+        line = self.expect("keyword", "for").line
+        self.expect("op", "(")
+        self.accept("keyword")  # optional 'int'
+        var = self.expect("name").value
+        self.expect("op", "=")
+        start = self.parse_expression()
+        self.expect("op", ";")
+        cond_var = self.expect("name").value
+        if cond_var != var:
+            raise ParseError(
+                f"loop condition must test {var!r}", line=line
+            )
+        self.expect("op", "<")
+        bound = self.parse_expression()
+        self.expect("op", ";")
+        step = self._parse_step(var, line)
+        self.expect("op", ")")
+        body_stmt = self.parse_statement()
+        body = (body_stmt.statements if isinstance(body_stmt, Block)
+                else [body_stmt])
+        return For(var=var, start=start, bound=bound, step=step,
+                   body=body, line=line)
+
+    def _parse_step(self, var, line):
+        if self.accept("op", "++"):
+            self.expect("name", None)
+            return 1
+        name = self.expect("name").value
+        if name != var:
+            raise ParseError(f"loop step must update {var!r}", line=line)
+        if self.accept("op", "++"):
+            return 1
+        if self.accept("op", "+="):
+            step = self.parse_expression()
+            if not isinstance(step, Num):
+                raise ParseError("loop step must be constant", line=line)
+            return int(step.value)
+        raise ParseError("unsupported loop step", line=line)
+
+    def parse_if(self):
+        line = self.expect("keyword", "if").line
+        self.expect("op", "(")
+        condition = self.parse_expression()
+        self.expect("op", ")")
+        then_stmt = self.parse_statement()
+        then_body = (then_stmt.statements if isinstance(then_stmt, Block)
+                     else [then_stmt])
+        else_body = []
+        if self.accept("keyword", "else"):
+            else_stmt = self.parse_statement()
+            else_body = (else_stmt.statements
+                         if isinstance(else_stmt, Block) else [else_stmt])
+        return If(condition=condition, then_body=then_body,
+                  else_body=else_body, line=line)
+
+    def parse_declare(self):
+        ctype = self.expect("keyword").value
+        name = self.expect("name").value
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expression()
+        self.expect("op", ";")
+        return Declare(ctype=ctype, name=name, init=init)
+
+    def parse_assign(self):
+        target = self.parse_postfix()
+        if not isinstance(target, (Var, Index)):
+            raise ParseError("assignment target must be a variable or "
+                             "array element", line=self.peek().line)
+        token = self.peek()
+        if token.kind == "op" and token.value in ("=", "+=", "-=", "*="):
+            self.advance()
+            value = self.parse_expression()
+            return Assign(target=target, value=value, op=token.value,
+                          line=token.line)
+        raise ParseError(f"expected assignment, found {token.value!r}",
+                         line=token.line)
+
+    # -- expressions --------------------------------------------------------
+    def parse_expression(self):
+        return self.parse_ternary()
+
+    def parse_ternary(self):
+        condition = self.parse_or()
+        if self.accept("op", "?"):
+            if_true = self.parse_expression()
+            self.expect("op", ":")
+            if_false = self.parse_expression()
+            return Ternary(condition, if_true, if_false)
+        return condition
+
+    def _binary(self, operators, next_level):
+        node = next_level()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value in operators:
+                self.advance()
+                node = BinOp(token.value, node, next_level(),
+                             line=token.line)
+            else:
+                return node
+
+    def parse_or(self):
+        return self._binary({"||"}, self.parse_and)
+
+    def parse_and(self):
+        return self._binary({"&&"}, self.parse_equality)
+
+    def parse_equality(self):
+        return self._binary({"==", "!="}, self.parse_relational)
+
+    def parse_relational(self):
+        return self._binary({"<", ">", "<=", ">="}, self.parse_additive)
+
+    def parse_additive(self):
+        return self._binary({"+", "-"}, self.parse_multiplicative)
+
+    def parse_multiplicative(self):
+        return self._binary({"*", "/", "%"}, self.parse_unary)
+
+    def parse_unary(self):
+        token = self.peek()
+        if token.kind == "op" and token.value in ("-", "!"):
+            self.advance()
+            return UnaryOp(token.value, self.parse_unary(),
+                           line=token.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self):
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            text = token.value.rstrip("fF")
+            value = float(text) if any(c in text for c in ".eE") \
+                else int(text)
+            return Num(value=value, line=token.line)
+        if token.kind == "op" and token.value == "(":
+            self.advance()
+            inner = self.parse_expression()
+            self.expect("op", ")")
+            return inner
+        if token.kind == "name":
+            self.advance()
+            if self.accept("op", "("):
+                if token.value not in _INTRINSICS:
+                    raise ParseError(
+                        f"unknown intrinsic {token.value!r}",
+                        line=token.line,
+                    )
+                args = []
+                while not self.accept("op", ")"):
+                    args.append(self.parse_expression())
+                    self.accept("op", ",")
+                return Call(name=token.value, args=args, line=token.line)
+            if self.accept("op", "["):
+                subscript = self.parse_expression()
+                self.expect("op", "]")
+                return Index(array=token.value, subscript=subscript,
+                             line=token.line)
+            return Var(name=token.value, line=token.line)
+        raise ParseError(f"unexpected token {token.value!r}",
+                         line=token.line)
+
+
+def parse(source):
+    """Parse C source into a list of :class:`Function` nodes."""
+    return _Parser(tokenize(source)).parse_file()

@@ -1,0 +1,35 @@
+"""Reproduction harness: one driver per paper table/figure.
+
+Every driver returns plain data (lists of row dicts plus a summary dict)
+and can print itself; the ``benchmarks/`` tree wraps these in
+pytest-benchmark entries and asserts the paper's qualitative claims.
+
+Scaled problem sizes and reduced scheduler budgets keep each driver
+minutes-fast in pure Python; set ``REPRO_SCALE``/``REPRO_SCHED_ITERS``
+environment variables (or pass arguments) for larger runs.
+"""
+
+from repro.harness.report import format_table, print_table
+from repro.harness import (
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    model_validation,
+    table1,
+)
+
+__all__ = [
+    "format_table",
+    "print_table",
+    "table1",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "model_validation",
+]

@@ -1,0 +1,50 @@
+"""Figure 13: configuration-path length versus the ideal.
+
+For fabric meshes of 2x2 to 5x5 PEs and 3/6/9 configuration paths, the
+generator's longest path is compared against the ceil(n/p) lower bound
+(the paper reports a mean 1.4x overhead).
+"""
+
+from repro.adg import topologies
+from repro.hwgen.config_path import (
+    coverage,
+    generate_config_paths,
+    ideal_longest_path,
+    longest_path_length,
+)
+
+
+def fabric_mesh(dim):
+    """A PEs+switches-only mesh (the paper's Figure 13 subject)."""
+    adg = topologies.build_mesh(dim, dim)
+    for name in list(adg.node_names()):
+        if adg.node(name).KIND in ("sync", "memory", "core"):
+            adg.remove(name)
+    return adg
+
+
+def run(dims=(2, 3, 4, 5), path_counts=(3, 6, 9)):
+    rows = []
+    for dim in dims:
+        adg = fabric_mesh(dim)
+        nodes = len(adg.node_names()) - 1  # the seed heads path 0
+        for count in path_counts:
+            paths = generate_config_paths(adg, count)
+            uncovered = coverage(paths, adg)
+            longest = longest_path_length(paths)
+            ideal = ideal_longest_path(nodes, count)
+            rows.append({
+                "mesh": f"{dim}x{dim}",
+                "paths": count,
+                "longest": longest,
+                "ideal": ideal,
+                "ratio": longest / ideal,
+                "covered": not uncovered,
+            })
+    ratios = [row["ratio"] for row in rows]
+    summary = {
+        "mean_ratio": sum(ratios) / len(ratios),
+        "max_ratio": max(ratios),
+        "all_covered": all(row["covered"] for row in rows),
+    }
+    return rows, summary

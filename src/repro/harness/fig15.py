@@ -1,0 +1,158 @@
+"""Figure 15: power/area model validation and generated-hardware quality.
+
+Part A (model validation): for each design, compare the regression
+estimate against 'synthesis' (the component-level cost model plus fabric
+integration overhead). The paper reports estimates 4-7% below synthesis.
+
+Part B (hardware quality): DSE-generated designs versus the prior
+programmable accelerators for their workload set (Softbrain for
+MachSuite/DenseNN, SPU for SparseCNN) in area and perf^2/mm^2, plus
+fixed-function DianNao/SCNN-style references.
+"""
+
+from repro.adg import topologies
+from repro.baselines.fixed import fixed_function_cost
+from repro.compiler.pipeline import compile_kernel
+from repro.dse import DesignSpaceExplorer
+from repro.errors import CompilationError
+from repro.estimation.power_area import default_model, synthesize_adg
+from repro.utils.rng import DeterministicRng
+from repro.workloads import kernel as make_kernel
+
+DSE_SETS = {
+    "machsuite": ("mm", "md", "ellpack"),
+    "densenn": ("conv", "pool", "classifier"),
+    "sparsecnn": ("spmm_outer", "resparsify"),
+}
+
+#: Which prior programmable accelerator each set is compared against.
+PRIOR_FOR_SET = {
+    "machsuite": "softbrain",
+    "densenn": "softbrain",
+    "sparsecnn": "spu",
+}
+
+
+def _kernel_cycles(adg, names, scale, sched_iters, tag):
+    cycles = {}
+    for name in names:
+        try:
+            result = compile_kernel(
+                make_kernel(name, scale), adg,
+                rng=DeterministicRng(("fig15", tag, name)),
+                max_iters=sched_iters,
+            )
+        except CompilationError:
+            return None
+        if not result.ok:
+            return None
+        cycles[name] = result.perf.cycles
+    return cycles
+
+
+def run(scale=0.05, dse_iters=12, sched_iters=50, seed=0):
+    """Returns ``(validation_rows, comparison_rows, summary)``."""
+    model = default_model()
+
+    generated = {}
+    for set_name, names in DSE_SETS.items():
+        kernels = [make_kernel(name, scale) for name in names]
+        explorer = DesignSpaceExplorer(
+            kernels,
+            topologies.dse_initial(),
+            rng=DeterministicRng(("fig15", set_name, seed)),
+            sched_iters=sched_iters,
+            area_power_model=model,
+        )
+        result = explorer.run(max_iters=dse_iters)
+        generated[set_name] = result.best_adg
+        generated[set_name].name = f"dsagen_{set_name}"
+
+    # ---- Part A: model validation --------------------------------------
+    validation_rows = []
+    designs = dict(generated)
+    designs["softbrain"] = topologies.softbrain()
+    designs["spu"] = topologies.spu()
+    for name, adg in designs.items():
+        est_area, est_power = model.estimate(adg)
+        syn_area, syn_power = synthesize_adg(adg)
+        validation_rows.append({
+            "design": name,
+            "est_area": est_area,
+            "synth_area": syn_area,
+            "area_gap_pct": 100.0 * (syn_area - est_area) / syn_area,
+            "est_power": est_power,
+            "synth_power": syn_power,
+            "power_gap_pct": 100.0 * (syn_power - est_power) / syn_power,
+        })
+
+    # ---- Part B: generated hardware vs prior accelerators --------------
+    comparison_rows = []
+    objective_ratios = []
+    for set_name, names in DSE_SETS.items():
+        dsagen_adg = generated[set_name]
+        prior_name = PRIOR_FOR_SET[set_name]
+        prior_adg = topologies.PRESETS[prior_name]()
+        dsagen_area, dsagen_power = model.estimate(dsagen_adg)
+        prior_area, prior_power = model.estimate(prior_adg)
+
+        dsagen_cycles = _kernel_cycles(
+            dsagen_adg, names, scale, sched_iters, f"{set_name}-gen"
+        )
+        prior_cycles = _kernel_cycles(
+            prior_adg, names, scale, sched_iters, f"{set_name}-prior"
+        )
+        if dsagen_cycles is None or prior_cycles is None:
+            continue
+        import math
+
+        speedup = math.exp(sum(
+            math.log(prior_cycles[n] / dsagen_cycles[n]) for n in names
+        ) / len(names))
+        dsagen_obj = speedup * speedup / dsagen_area
+        prior_obj = 1.0 / prior_area
+        objective_ratios.append(dsagen_obj / prior_obj)
+        row = {
+            "set": set_name,
+            "prior": prior_name,
+            "dsagen_area": dsagen_area,
+            "prior_area": prior_area,
+            "area_ratio": dsagen_area / prior_area,
+            "speedup_vs_prior": speedup,
+            "perf2_per_mm2_ratio": dsagen_obj / prior_obj,
+        }
+        # Fixed-function references (DianNao-style for dense NN,
+        # SCNN/SPU-stripped for sparse CNN).
+        if set_name == "densenn":
+            fixed_area, fixed_power = fixed_function_cost(
+                topologies.diannao_like()
+            )
+            row["fixed_ref"] = "diannao"
+            row["fixed_area_ratio"] = dsagen_area / fixed_area
+        elif set_name == "sparsecnn":
+            from repro.baselines.fixed import scnn_reference
+
+            fixed_area, fixed_power = fixed_function_cost(
+                scnn_reference()
+            )
+            row["fixed_ref"] = "scnn-style"
+            row["fixed_area_ratio"] = dsagen_area / fixed_area
+        comparison_rows.append(row)
+
+    gaps = [abs(r["area_gap_pct"]) for r in validation_rows]
+    import math
+
+    summary = {
+        "mean_validation_gap_pct": sum(gaps) / len(gaps),
+        "validation_underestimates": all(
+            r["area_gap_pct"] > 0 for r in validation_rows
+            if r["design"].startswith("dsagen")
+        ),
+        "mean_perf2_mm2_ratio": (
+            math.exp(sum(math.log(max(r, 1e-9))
+                         for r in objective_ratios)
+                     / len(objective_ratios))
+            if objective_ratios else 0.0
+        ),
+    }
+    return validation_rows, comparison_rows, summary

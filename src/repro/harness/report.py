@@ -1,0 +1,34 @@
+"""Plain-text table rendering for harness output."""
+
+
+def format_table(rows, columns=None, title=None):
+    """Render a list of row dicts as an aligned text table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    columns = columns or list(rows[0].keys())
+
+    def fmt(value):
+        if isinstance(value, float):
+            return f"{value:.3g}" if abs(value) < 1000 else f"{value:.0f}"
+        return str(value)
+
+    rendered = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rendered:
+        lines.append("  ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(row)
+        ))
+    return "\n".join(lines)
+
+
+def print_table(rows, columns=None, title=None):
+    print(format_table(rows, columns, title))

@@ -1,0 +1,20 @@
+"""Table I: workload specification."""
+
+from repro.workloads.spec import PAPER_SIZES, WORKLOAD_DOMAINS, scaled_size
+
+
+def run(scale=0.25):
+    """Rows of workload name, domain, paper size, scaled size."""
+    domain_of = {}
+    for domain, names in WORKLOAD_DOMAINS.items():
+        for name in names:
+            domain_of[name] = domain
+    rows = []
+    for name in sorted(PAPER_SIZES):
+        rows.append({
+            "workload": name,
+            "domain": domain_of.get(name, "-"),
+            "paper_size": str(PAPER_SIZES[name]),
+            "scaled_size": str(scaled_size(name, scale)),
+        })
+    return rows, {"workloads": len(rows)}

@@ -1,0 +1,29 @@
+"""Hardware generation (Section VI).
+
+* :mod:`repro.hwgen.bitstream` — per-component configuration encoding:
+  switch routing selections, PE opcodes/operand sources/delays, sync-
+  element delays, with destination IDs for network-delivered
+  configuration.
+* :mod:`repro.hwgen.config_path` — configuration-path generation for
+  arbitrary topologies: spanning-tree initialization plus the iterative
+  longest-path-reduction heuristic (Figure 13).
+* :mod:`repro.hwgen.verilog` — structural RTL emission (a stand-in for
+  the paper's Chisel backend).
+"""
+
+from repro.hwgen.bitstream import Bitstream, encode_bitstream
+from repro.hwgen.config_path import (
+    config_cycles,
+    generate_config_paths,
+    ideal_longest_path,
+)
+from repro.hwgen.verilog import emit_verilog
+
+__all__ = [
+    "Bitstream",
+    "encode_bitstream",
+    "generate_config_paths",
+    "ideal_longest_path",
+    "config_cycles",
+    "emit_verilog",
+]

@@ -1,0 +1,228 @@
+"""Configuration bitstream encoding (Section VI).
+
+"Each component of the spatial architecture has local registers to store
+the bitstream that encodes the programmable information: A switch's
+bitstream encodes the routing information. A PE's bitstream encodes
+instruction opcodes, execution timing (for static PEs only), and
+instruction tags (for shared PEs only). A synchronization element's
+bitstream encodes the cycles of delay."
+
+Configuration messages carry a destination ID so components keep their
+own words and forward the rest; the encoder therefore prefixes each
+component's payload with its node ID.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.adg.components import ProcessingElement, Switch, SyncElement
+from repro.errors import HwGenError
+from repro.ir.dfg import NodeKind
+from repro.isa.opcodes import OPCODES
+from repro.utils.bits import bits_for_value, ceil_div
+
+#: Stable opcode numbering for the encoding.
+OPCODE_IDS = {name: i for i, name in enumerate(sorted(OPCODES))}
+
+
+@dataclass
+class NodeConfig:
+    """One component's configuration: named fields plus the packed bits."""
+
+    node: str
+    fields: dict = field(default_factory=dict)   # name -> (value, width)
+    payload: int = 0
+    payload_bits: int = 0
+
+    def pack(self):
+        """Pack fields (sorted by name) into the payload."""
+        value = 0
+        width = 0
+        for name in sorted(self.fields):
+            item, item_width = self.fields[name]
+            if item < 0 or item >= (1 << item_width):
+                raise HwGenError(
+                    f"{self.node}.{name}: value {item} does not fit in "
+                    f"{item_width} bits"
+                )
+            value = (value << item_width) | item
+            width += item_width
+        self.payload = value
+        self.payload_bits = width
+        return self
+
+    def unpack(self, field_widths):
+        """Inverse of :meth:`pack` given the ordered field widths."""
+        names = sorted(field_widths)
+        result = {}
+        value = self.payload
+        for name in reversed(names):
+            width = field_widths[name]
+            result[name] = value & ((1 << width) - 1)
+            value >>= width
+        return result
+
+
+@dataclass
+class Bitstream:
+    """The whole design's configuration."""
+
+    configs: dict = field(default_factory=dict)  # node -> NodeConfig
+    id_bits: int = 8
+
+    def total_bits(self):
+        return sum(
+            self.id_bits + cfg.payload_bits for cfg in self.configs.values()
+        )
+
+    def words(self, word_bits=64):
+        """Configuration words transmitted (one header+payload chunk per
+        component, padded to the network word size)."""
+        return sum(
+            ceil_div(self.id_bits + cfg.payload_bits, word_bits)
+            for cfg in self.configs.values()
+        )
+
+
+def _in_link_index(adg, node_name, link_id):
+    """Position of ``link_id`` among the node's input links."""
+    links = adg.in_links(node_name)
+    for index, link in enumerate(links):
+        if link.link_id == link_id:
+            return index, len(links)
+    raise HwGenError(f"link {link_id} does not enter {node_name}")
+
+
+def _out_link_index(adg, node_name, link_id):
+    links = adg.out_links(node_name)
+    for index, link in enumerate(links):
+        if link.link_id == link_id:
+            return index, len(links)
+    raise HwGenError(f"link {link_id} does not leave {node_name}")
+
+
+def encode_bitstream(adg, schedule):
+    """Encode a schedule into per-component configuration.
+
+    Returns a :class:`Bitstream`. Unused components still receive a
+    (minimal) disable word — they must observe the config stream to
+    forward it.
+    """
+    node_names = adg.node_names()
+    id_bits = bits_for_value(max(1, len(node_names) - 1))
+    stream = Bitstream(id_bits=id_bits)
+
+    switch_routes = {}   # switch -> {out_idx: in_idx}
+    pe_sources = {}      # pe -> {operand_index: in_idx}
+    for edge, links in schedule.routes.items():
+        for first, second in zip(links, links[1:]):
+            first_link = adg.link(first)
+            node = adg.node(first_link.dst)
+            if isinstance(node, Switch):
+                in_idx, _ = _in_link_index(adg, node.name, first)
+                out_idx, _ = _out_link_index(adg, node.name, second)
+                existing = switch_routes.setdefault(node.name, {})
+                if existing.get(out_idx, in_idx) != in_idx:
+                    raise HwGenError(
+                        f"switch {node.name}: output {out_idx} driven by "
+                        f"two different inputs"
+                    )
+                existing[out_idx] = in_idx
+        if links:
+            final = adg.link(links[-1])
+            consumer = adg.node(final.dst)
+            if isinstance(consumer, ProcessingElement):
+                in_idx, _ = _in_link_index(adg, consumer.name, links[-1])
+                pe_sources.setdefault(consumer.name, {})[
+                    (edge.dst_id, edge.operand_index)
+                ] = in_idx
+
+    for name in node_names:
+        component = adg.node(name)
+        config = NodeConfig(node=name)
+        if isinstance(component, Switch):
+            _encode_switch(adg, component, switch_routes.get(name, {}),
+                           config)
+        elif isinstance(component, ProcessingElement):
+            _encode_pe(adg, schedule, component,
+                       pe_sources.get(name, {}), config)
+        elif isinstance(component, SyncElement):
+            _encode_sync(schedule, component, config)
+        else:
+            config.fields["enable"] = (0, 1)
+        stream.configs[name] = config.pack()
+    return stream
+
+
+def _encode_switch(adg, switch, routes, config):
+    out_count = max(1, len(adg.out_links(switch.name)))
+    in_count = max(1, len(adg.in_links(switch.name)))
+    select_bits = bits_for_value(in_count)
+    for out_idx in range(out_count):
+        chosen = routes.get(out_idx)
+        # in_count encodes "disabled".
+        value = chosen if chosen is not None else in_count
+        config.fields[f"route{out_idx:03d}"] = (value, select_bits)
+
+
+def _encode_pe(adg, schedule, pe, sources, config):
+    opcode_bits = bits_for_value(len(OPCODE_IDS))
+    in_count = max(1, len(adg.in_links(pe.name)))
+    select_bits = bits_for_value(in_count)
+    delay_bits = bits_for_value(max(1, pe.delay_fifo_depth))
+
+    slot = 0
+    for vertex, hw_name in sorted(
+        schedule.placement.items(), key=lambda item: str(item[0])
+    ):
+        if hw_name != pe.name:
+            continue
+        node = schedule.node_of(vertex)
+        if node.kind is not NodeKind.INSTR:
+            continue
+        prefix = f"slot{slot:02d}_"
+        config.fields[prefix + "opcode"] = (
+            OPCODE_IDS[node.op] + 1, opcode_bits
+        )
+        for operand_index in range(len(node.operands)):
+            in_idx = sources.get((vertex.node_id, operand_index), 0)
+            config.fields[prefix + f"src{operand_index}"] = (
+                in_idx, select_bits
+            )
+            if not pe.is_dynamic:
+                from repro.scheduler.schedule import Edge
+
+                refs = node.operands[operand_index]
+                edge = Edge(vertex.region, refs.node_id, vertex.node_id,
+                            operand_index, refs.lane)
+                delay = schedule.input_delays.get(edge, 0)
+                config.fields[prefix + f"delay{operand_index}"] = (
+                    min(delay, pe.delay_fifo_depth), delay_bits
+                )
+        if pe.is_shared:
+            config.fields[prefix + "tag"] = (
+                slot, bits_for_value(max(1, pe.max_instructions - 1))
+            )
+        if node.reduction:
+            config.fields[prefix + "accum"] = (1, 1)
+            config.fields[prefix + "emit_every"] = (
+                min(node.emit_every, (1 << 16) - 1), 16
+            )
+        slot += 1
+    if slot == 0:
+        config.fields["slot00_opcode"] = (0, opcode_bits)  # disabled
+    config.fields["num_slots"] = (
+        slot, bits_for_value(max(1, pe.max_instructions))
+    )
+
+
+def _encode_sync(schedule, element, config):
+    # Which DFG port (if any) this element hosts, plus FIFO behaviour.
+    hosted = 0
+    for vertex, hw_name in schedule.placement.items():
+        if hw_name == element.name:
+            hosted = 1
+            break
+    config.fields["enable"] = (hosted, 1)
+    config.fields["depth"] = (
+        element.depth, bits_for_value(max(1, element.depth))
+    )

@@ -1,0 +1,46 @@
+"""Decoupled dataflow intermediate representation.
+
+The IR separates each offloaded region into (Section II):
+
+* **streams** (:mod:`repro.ir.stream`) — coarse-grained memory access
+  patterns handled by memory engines (linear/inductive 2D, indirect
+  gather/scatter, atomic update, constants, recurrences);
+* a **dataflow graph** (:mod:`repro.ir.dfg`) — the computation mapped onto
+  PEs and the network;
+* **regions and programs** (:mod:`repro.ir.region`) — offload regions
+  grouped into configuration scopes with explicit concurrency and
+  producer/consumer relationships.
+
+:mod:`repro.ir.interp` executes programs functionally (no timing), giving
+golden outputs for compiler and simulator tests.
+"""
+
+from repro.ir.stream import (
+    ConstStream,
+    IndirectStream,
+    LinearStream,
+    RecurrenceStream,
+    StreamDirection,
+    UpdateStream,
+)
+from repro.ir.dfg import Dfg, DfgNode, NodeKind, Operand
+from repro.ir.region import ConfigScope, JoinSpec, OffloadRegion
+from repro.ir.interp import execute_region, execute_scope
+
+__all__ = [
+    "LinearStream",
+    "IndirectStream",
+    "UpdateStream",
+    "ConstStream",
+    "RecurrenceStream",
+    "StreamDirection",
+    "Dfg",
+    "DfgNode",
+    "NodeKind",
+    "Operand",
+    "OffloadRegion",
+    "ConfigScope",
+    "JoinSpec",
+    "execute_region",
+    "execute_scope",
+]

@@ -1,0 +1,619 @@
+"""Functional (untimed) execution of decoupled-dataflow programs.
+
+This is the semantic reference for the whole framework: compiler output is
+checked against plain-Python kernels here, and the cycle-level simulator
+must produce the same values with timing added.
+
+A port may be bound to a single stream or a *sequence* of streams — the
+control core issues successive stream commands to the same port (this is
+how the repetitive-in-place-update and producer-consumer idioms of
+Section IV-D are encoded: a port first reads memory, then reads a
+recurrence; an output port first feeds a recurrence, then writes memory).
+
+Memory is a dict mapping array names to mutable sequences (lists or
+1-D numpy arrays).
+"""
+
+from repro.errors import IrError
+from repro.ir.dfg import NodeKind
+from repro.ir.stream import (
+    ConstStream,
+    IndirectStream,
+    LinearStream,
+    RecurrenceStream,
+    UpdateStream,
+)
+from repro.isa.opcodes import evaluate
+
+
+def _as_stream_list(binding):
+    return list(binding) if isinstance(binding, (list, tuple)) else [binding]
+
+
+def _load(memory, array, address, context):
+    try:
+        data = memory[array]
+    except KeyError:
+        raise IrError(f"{context}: unknown array {array!r}") from None
+    index = int(address)
+    if index < 0 or index >= len(data):
+        raise IrError(
+            f"{context}: address {index} out of range for {array!r} "
+            f"(size {len(data)})"
+        )
+    return data[index]
+
+
+def _store(memory, array, address, value, context):
+    try:
+        data = memory[array]
+    except KeyError:
+        raise IrError(f"{context}: unknown array {array!r}") from None
+    index = int(address)
+    if index < 0 or index >= len(data):
+        raise IrError(
+            f"{context}: address {index} out of range for {array!r} "
+            f"(size {len(data)})"
+        )
+    data[index] = value
+
+
+def _read_stream_values(stream, memory, recurrence_fifos, context):
+    """Materialize the full value sequence of a read-side stream."""
+    if isinstance(stream, ConstStream):
+        return list(stream.values())
+    if isinstance(stream, RecurrenceStream):
+        queue = recurrence_fifos.setdefault(
+            stream.source_port, _RecurrenceQueue()
+        )
+        # Values may not all exist yet (self-recurrence): return a lazy view.
+        return _FifoReader(
+            queue, stream.length, stream.source_port,
+            repeat=stream.repeat,
+        )
+    if isinstance(stream, UpdateStream):
+        raise IrError(f"{context}: update streams cannot feed inputs")
+    if isinstance(stream, IndirectStream):
+        index_values = [
+            _load(memory, stream.index.array, addr, context)
+            for addr in stream.index.addresses()
+        ]
+        return [
+            _load(memory, stream.array, addr, context)
+            for addr in stream.addresses(index_values)
+        ]
+    if isinstance(stream, LinearStream):
+        return [
+            _load(memory, stream.array, addr, context)
+            for addr in stream.addresses()
+        ]
+    raise IrError(f"{context}: unknown stream type {type(stream).__name__}")
+
+
+class _RecurrenceQueue:
+    """A recurrence FIFO with a persistent read cursor.
+
+    Successive reader segments (e.g. one per outer-loop iteration in a
+    recycled GEMM row) must resume where the previous reader stopped, so
+    the cursor lives on the queue, not the reader.
+    """
+
+    def __init__(self):
+        self.items = []
+        self.cursor = 0
+
+    def push(self, value):
+        self.items.append(value)
+
+    def pop(self, source_port):
+        if self.cursor >= len(self.items):
+            raise IrError(
+                f"recurrence from {source_port!r} read before data was "
+                f"produced (lag violated)"
+            )
+        value = self.items[self.cursor]
+        self.cursor += 1
+        return value
+
+    def available(self):
+        return len(self.items) - self.cursor
+
+
+class _FifoReader:
+    """Lazy reader over a recurrence queue filled during execution.
+
+    ``repeat > 1`` models non-discarding port reads: each forwarded word
+    is served ``repeat`` times before the next is popped.
+    """
+
+    def __init__(self, queue, length, source_port, repeat=1):
+        self._queue = queue
+        self._remaining = length
+        self._source = source_port
+        self._repeat = repeat
+        self._held = None
+        self._held_serves = 0
+
+    def pop(self):
+        if self._remaining <= 0:
+            raise IrError(
+                f"recurrence from {self._source!r} over-read"
+            )
+        if self._held_serves == 0:
+            self._held = self._queue.pop(self._source)
+            self._held_serves = self._repeat
+        self._held_serves -= 1
+        self._remaining -= 1
+        return self._held
+
+    def __len__(self):
+        return self._remaining
+
+
+class _PortReader:
+    """Pops words from the concatenation of a port's stream sequence.
+
+    Streams materialize *lazily*, when the previous segment exhausts.
+    This matters for in-place algorithms (GEMM row recycling, iterative
+    FFT stages): a later segment's loads must observe the stores earlier
+    segments already performed, exactly as the hardware's decoupled
+    stream engines would.
+    """
+
+    def __init__(self, streams, memory, recurrence_fifos, context):
+        self._streams = list(streams)
+        self._memory = memory
+        self._fifos = recurrence_fifos
+        self._context = context
+        self._index = 0
+        self._cursor = 0
+        self._active = None
+
+    def _activate(self, position):
+        return _read_stream_values(
+            self._streams[position], self._memory, self._fifos,
+            self._context,
+        )
+
+    def pop(self):
+        while self._index < len(self._streams):
+            if self._active is None:
+                self._active = self._activate(self._index)
+            source = self._active
+            if isinstance(source, _FifoReader):
+                if len(source) > 0:
+                    return source.pop()
+            elif self._cursor < len(source):
+                value = source[self._cursor]
+                self._cursor += 1
+                return value
+            self._index += 1
+            self._cursor = 0
+            self._active = None
+        raise IrError(f"{self._context}: port under-run (stream exhausted)")
+
+    def remaining(self):
+        total = 0
+        for position in range(self._index, len(self._streams)):
+            stream = self._streams[position]
+            if position == self._index and self._active is not None:
+                source = self._active
+                if isinstance(source, _FifoReader):
+                    total += len(source)
+                else:
+                    total += len(source) - self._cursor
+            else:
+                total += stream.volume()
+        return total
+
+
+class _OutputRouter:
+    """Routes an output port's produced words through its stream sequence
+    *as they are produced*, so recurrence segments feed their FIFOs with
+    the correct (possibly interleaved) subsets of words."""
+
+    def __init__(self, port, streams, memory, recurrence_fifos, context):
+        self._port = port
+        self._memory = memory
+        self._context = context
+        self._segments = []  # (kind, payload, remaining)
+        for stream in streams:
+            if isinstance(stream, RecurrenceStream):
+                queue = recurrence_fifos.setdefault(
+                    stream.source_port or port, _RecurrenceQueue()
+                )
+                self._segments.append(["recur", queue, stream.length])
+            elif isinstance(stream, UpdateStream):
+                if stream.paired_index:
+                    # The fabric emits (address, value) pairs.
+                    self._segments.append(
+                        ["paired_update", [stream, None],
+                         2 * stream.pair_count]
+                    )
+                else:
+                    addresses = self._indirect_addresses(stream)
+                    self._segments.append(
+                        ["update", (stream, addresses), len(addresses)]
+                    )
+            elif isinstance(stream, IndirectStream):
+                addresses = self._indirect_addresses(stream)
+                self._segments.append(
+                    ["scatter", (stream, addresses), len(addresses)]
+                )
+            elif isinstance(stream, LinearStream):
+                addresses = list(stream.addresses())
+                self._segments.append(
+                    ["linear", (stream, addresses), len(addresses)]
+                )
+            else:
+                raise IrError(
+                    f"{context}: stream type {type(stream).__name__} "
+                    f"cannot drain an output port"
+                )
+        self._segment_index = 0
+        self._segment_cursor = 0
+
+    def _indirect_addresses(self, stream):
+        index_values = [
+            _load(self._memory, stream.index.array, addr, self._context)
+            for addr in stream.index.addresses()
+        ]
+        return list(stream.addresses(index_values))
+
+    def push(self, value):
+        """Deliver one produced word to the current segment."""
+        while self._segment_index < len(self._segments):
+            kind, payload, total = self._segments[self._segment_index]
+            if self._segment_cursor < total:
+                break
+            self._segment_index += 1
+            self._segment_cursor = 0
+        else:
+            raise IrError(
+                f"{self._context}: output port {self._port!r} produced "
+                f"more words than its streams consume"
+            )
+        kind, payload, total = self._segments[self._segment_index]
+        position = self._segment_cursor
+        self._segment_cursor += 1
+        if kind == "recur":
+            payload.push(value)
+        elif kind == "paired_update":
+            stream, pending_address = payload
+            if position % 2 == 0:
+                payload[1] = value  # the address half of the pair
+            else:
+                address = pending_address
+                old = _load(
+                    self._memory, stream.array, address, self._context
+                )
+                _store(
+                    self._memory, stream.array, address,
+                    evaluate(stream.update_op, [old, value]), self._context,
+                )
+        elif kind == "linear" or kind == "scatter":
+            stream, addresses = payload
+            _store(
+                self._memory, stream.array, addresses[position], value,
+                self._context,
+            )
+        else:  # update
+            stream, addresses = payload
+            address = addresses[position]
+            old = _load(self._memory, stream.array, address, self._context)
+            _store(
+                self._memory, stream.array, address,
+                evaluate(stream.update_op, [old, value]), self._context,
+            )
+
+    def finish(self):
+        """Assert every stream segment was fully fed.
+
+        Streams flagged ``compacting`` (predicated/filtered writes whose
+        survivor count is data-dependent, e.g. resparsification) may be
+        underfed.
+        """
+        consumed = self._segment_cursor
+        for index in range(self._segment_index):
+            consumed += self._segments[index][2]
+        expected = sum(segment[2] for segment in self._segments)
+        if consumed != expected:
+            compacting = any(
+                getattr(self._spec_of(segment), "compacting", False)
+                for segment in self._segments
+            )
+            if not compacting or consumed > expected:
+                raise IrError(
+                    f"{self._context}: output port {self._port!r} produced "
+                    f"{consumed} words but streams expected {expected}"
+                )
+
+    @staticmethod
+    def _spec_of(segment):
+        payload = segment[1]
+        if isinstance(payload, _RecurrenceQueue):
+            return None
+        if isinstance(payload, (tuple, list)):
+            return payload[0]
+        return payload
+
+
+class _DfgEvaluator:
+    """Evaluates DFG instances, carrying reduction state across instances."""
+
+    def __init__(self, dfg):
+        self.dfg = dfg
+        self.order = dfg.topological_order()
+        self.state = {
+            node.node_id: node.init
+            for node in dfg.instructions()
+            if node.reduction
+        }
+        self.fired = {node_id: 0 for node_id in self.state}
+
+    def run_instance(self, input_vectors):
+        """Fire one instance.
+
+        ``input_vectors`` maps input-node names to their lane lists.
+        Returns ``{output_name: [words]}`` — possibly empty lists when
+        reductions did not emit this instance.
+        """
+        values = {}
+        emitted = {}
+        for node_id in self.order:
+            node = self.dfg.node(node_id)
+            if node.kind is NodeKind.INPUT:
+                values[node_id] = input_vectors[node.name]
+            elif node.kind is NodeKind.CONST:
+                values[node_id] = [node.value]
+            elif node.kind is NodeKind.INSTR:
+                values[node_id] = [self._eval_instr(node, values)]
+            else:  # OUTPUT
+                words = []
+                for ref in node.operands:
+                    lanes = values[ref.node_id]
+                    if ref.lane < len(lanes) and lanes[ref.lane] is not None:
+                        words.append(lanes[ref.lane])
+                emitted.setdefault(node.name, []).extend(words)
+        return emitted
+
+    def _eval_instr(self, node, values):
+        predicate_ok = True
+        if node.predicate is not None:
+            lanes = values[node.predicate.node_id]
+            pred = lanes[node.predicate.lane]
+            predicate_ok = bool(pred)
+        operands = []
+        for ref in node.operands:
+            lanes = values[ref.node_id]
+            operands.append(
+                lanes[ref.lane] if ref.lane < len(lanes) else None
+            )
+        if node.reduction:
+            result = self._eval_reduction(node, operands, predicate_ok)
+            return result
+        if not predicate_ok:
+            return None
+        if node.op == "select":
+            pred = operands[0]
+            if pred is None:
+                return None
+            return operands[1] if pred else operands[2]
+        if any(op is None for op in operands):
+            return None
+        return evaluate(node.op, operands)
+
+    def _eval_reduction(self, node, operands, predicate_ok):
+        """Update accumulator state; emit on schedule, else None."""
+        if predicate_ok and not any(op is None for op in operands):
+            # Reductions fold their (single) data operand into the state.
+            data = operands[-1] if len(operands) > 1 else operands[0]
+            self.state[node.node_id] = evaluate(
+                node.op, [self.state[node.node_id], data]
+            )
+        self.fired[node.node_id] += 1
+        if node.emit_every and self.fired[node.node_id] % node.emit_every == 0:
+            value = self.state[node.node_id]
+            self.state[node.node_id] = node.init
+            return value
+        return None
+
+    def flush(self):
+        """Emit end-of-stream values for emit_every == 0 reductions.
+
+        Returns ``{output_name: [words]}`` like :meth:`run_instance`.
+        """
+        emitted = {}
+        for node in self.dfg.instructions():
+            if not node.reduction or node.emit_every:
+                continue
+            value = self.state[node.node_id]
+            self.state[node.node_id] = node.init
+            for out in self.dfg.outputs():
+                for ref in out.operands:
+                    if ref.node_id == node.node_id:
+                        emitted.setdefault(out.name, []).append(value)
+        return emitted
+
+
+def _run_join(region, readers, pop_trace=None):
+    """Produce per-instance input vectors for a stream-join region.
+
+    ``pop_trace`` (optional list) receives ``(left_pops, right_pops)``
+    pairs — the key pops consumed before each fired instance, plus one
+    trailing entry for the unmatched tail — which the cycle-level
+    simulator replays to time the data-dependent consumption.
+    """
+    spec = region.join_spec
+    instances = []
+    pops_since_fire = [0, 0]
+
+    def pop_all(port_names):
+        return {port: readers[port].pop() for port in port_names}
+
+    left_remaining = readers[spec.left_key].remaining()
+    right_remaining = readers[spec.right_key].remaining()
+    left_key = right_key = None
+    left_payload = right_payload = None
+
+    def advance_left():
+        nonlocal left_key, left_payload, left_remaining
+        left_key = readers[spec.left_key].pop()
+        left_payload = pop_all(spec.left_payloads)
+        left_remaining -= 1
+        pops_since_fire[0] += 1
+
+    def advance_right():
+        nonlocal right_key, right_payload, right_remaining
+        right_key = readers[spec.right_key].pop()
+        right_payload = pop_all(spec.right_payloads)
+        right_remaining -= 1
+        pops_since_fire[1] += 1
+
+    if left_remaining:
+        advance_left()
+    if right_remaining:
+        advance_right()
+    while left_key is not None or right_key is not None:
+        if left_key is not None and right_key is not None:
+            if left_key < right_key:
+                matched, use_left, use_right = False, True, False
+            elif left_key > right_key:
+                matched, use_left, use_right = False, False, True
+            else:
+                matched, use_left, use_right = True, True, True
+        elif left_key is not None:
+            matched, use_left, use_right = False, True, False
+        else:
+            matched, use_left, use_right = False, False, True
+
+        if matched or spec.mode == "union":
+            vector = {}
+            vector[spec.left_key] = [left_key if use_left else right_key]
+            vector[spec.right_key] = [right_key if use_right else left_key]
+            for port in spec.left_payloads:
+                vector[port] = [left_payload[port] if use_left else 0]
+            for port in spec.right_payloads:
+                vector[port] = [right_payload[port] if use_right else 0]
+            instances.append(vector)
+            if pop_trace is not None:
+                pop_trace.append(tuple(pops_since_fire))
+                pops_since_fire[0] = pops_since_fire[1] = 0
+
+        if use_left:
+            left_key = left_payload = None
+            if left_remaining:
+                advance_left()
+        if use_right:
+            right_key = right_payload = None
+            if right_remaining:
+                advance_right()
+    if pop_trace is not None and (pops_since_fire[0] or pops_since_fire[1]):
+        pop_trace.append(tuple(pops_since_fire))  # unmatched tail
+    return instances
+
+
+def execute_region(region, memory, recurrence_fifos=None, trace=None):
+    """Execute one region to completion against ``memory``.
+
+    Returns ``{output_port: [words]}`` (also applied to memory through the
+    bound write streams). ``recurrence_fifos`` carries forwarded values
+    between regions of one scope.
+
+    ``trace`` (optional dict) receives per-region execution facts the
+    cycle-level simulator replays: fired-instance count, per-port emitted
+    word counts per instance, and the join pop sequence.
+    """
+    region.validate()
+    context = f"region {region.name}"
+    recurrence_fifos = recurrence_fifos if recurrence_fifos is not None else {}
+
+    # Pre-create FIFOs for ports that source recurrences so self-loops and
+    # forwards consumed by later regions find their queue.
+    for binding in list(region.input_streams.values()) + list(
+        region.output_streams.values()
+    ):
+        for stream in _as_stream_list(binding):
+            if isinstance(stream, RecurrenceStream):
+                recurrence_fifos.setdefault(
+                    stream.source_port, _RecurrenceQueue()
+                )
+
+    readers = {
+        port: _PortReader(
+            _as_stream_list(binding), memory, recurrence_fifos, context
+        )
+        for port, binding in region.input_streams.items()
+    }
+    routers = {
+        port: _OutputRouter(
+            port, _as_stream_list(binding), memory, recurrence_fifos,
+            context,
+        )
+        for port, binding in region.output_streams.items()
+    }
+    evaluator = _DfgEvaluator(region.dfg)
+    produced = {node.name: [] for node in region.dfg.outputs()}
+    record = None
+    if trace is not None:
+        record = trace.setdefault(region.name, {
+            "instances": 0,
+            "emitted": {node.name: [] for node in region.dfg.outputs()},
+            "join_pops": [],
+        })
+
+    def flush_instance_output(emitted, count_instance=True):
+        if record is not None and count_instance:
+            record["instances"] += 1
+            for port in record["emitted"]:
+                record["emitted"][port].append(len(emitted.get(port, ())))
+        for port, words in emitted.items():
+            produced[port].extend(words)
+            for value in words:
+                routers[port].push(value)
+
+    if region.join_spec is not None:
+        pop_trace = record["join_pops"] if record is not None else None
+        for vector in _run_join(region, readers, pop_trace):
+            flush_instance_output(evaluator.run_instance(vector))
+    else:
+        total = region.instance_count()
+        input_nodes = region.dfg.inputs()
+        for _ in range(total):
+            vector = {
+                node.name: [
+                    readers[node.name].pop() for _ in range(node.lanes)
+                ]
+                for node in input_nodes
+            }
+            flush_instance_output(evaluator.run_instance(vector))
+
+    final = evaluator.flush()
+    if record is not None and final:
+        for port in record["emitted"]:
+            if record["emitted"][port]:
+                record["emitted"][port][-1] += len(final.get(port, ()))
+            elif final.get(port):
+                record["emitted"][port].append(len(final[port]))
+    flush_instance_output(final, count_instance=False)
+    for router in routers.values():
+        router.finish()
+    return produced
+
+
+def execute_scope(scope, memory, trace=None):
+    """Execute every region of a configuration scope in program order.
+
+    Producer regions fill recurrence FIFOs that consumer regions read
+    (Section IV-D producer-consumer forwarding); functionally, executing
+    in list order with shared FIFOs is equivalent to the pipelined
+    hardware execution.
+    """
+    scope.validate()
+    recurrence_fifos = {}
+    results = {}
+    for region in scope.regions:
+        results[region.name] = execute_region(
+            region, memory, recurrence_fifos, trace=trace
+        )
+    return results

@@ -1,0 +1,165 @@
+"""Human-readable and Graphviz renderings of IR and hardware graphs.
+
+``dfg_to_dot`` / ``adg_to_dot`` emit DOT text (render with Graphviz);
+``describe_region`` / ``describe_scope`` produce indented text summaries
+used by the CLI and handy in debugging sessions.
+"""
+
+from repro.ir.dfg import NodeKind
+from repro.ir.region import as_stream_list
+from repro.ir.stream import (
+    ConstStream,
+    IndirectStream,
+    LinearStream,
+    RecurrenceStream,
+    UpdateStream,
+)
+
+_KIND_STYLE = {
+    NodeKind.INPUT: ("box", "lightblue"),
+    NodeKind.CONST: ("diamond", "lightgray"),
+    NodeKind.INSTR: ("ellipse", "white"),
+    NodeKind.OUTPUT: ("box", "lightsalmon"),
+}
+
+
+def _dot_escape(text):
+    return str(text).replace('"', '\\"')
+
+
+def dfg_to_dot(dfg, name=None):
+    """Render a dataflow graph as DOT."""
+    lines = [f'digraph "{_dot_escape(name or dfg.name)}" {{',
+             "  rankdir=TB;"]
+    for node in dfg.nodes():
+        shape, fill = _KIND_STYLE[node.kind]
+        if node.kind is NodeKind.INSTR:
+            label = node.op
+            if node.reduction:
+                label += f" [acc/{node.emit_every or 'end'}]"
+        elif node.kind is NodeKind.CONST:
+            label = f"{node.value}"
+        else:
+            label = f"{node.name}"
+            if node.kind is NodeKind.INPUT and node.lanes > 1:
+                label += f" x{node.lanes}"
+        lines.append(
+            f'  n{node.node_id} [label="{_dot_escape(label)}", '
+            f'shape={shape}, style=filled, fillcolor={fill}];'
+        )
+    for src, dst, index, lane in dfg.edges():
+        style = ', style=dashed, color=gray40' if index == -1 else ""
+        label = f' [label="l{lane}"{style}]' if lane else (
+            f" [style=dashed, color=gray40]" if index == -1 else ""
+        )
+        lines.append(f"  n{src} -> n{dst}{label};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def adg_to_dot(adg):
+    """Render an architecture description graph as DOT."""
+    palette = {
+        "pe": ("box", "palegreen"),
+        "switch": ("circle", "lightyellow"),
+        "memory": ("cylinder", "lightblue"),
+        "sync": ("box", "lightsalmon"),
+        "delay": ("box", "lightgray"),
+        "core": ("octagon", "plum"),
+    }
+    lines = [f'digraph "{_dot_escape(adg.name)}" {{',
+             "  rankdir=LR;", "  node [fontsize=9];"]
+    for component in adg.nodes():
+        shape, fill = palette.get(component.KIND, ("box", "white"))
+        extra = ""
+        if component.KIND == "pe":
+            tags = []
+            if component.is_dynamic:
+                tags.append("dyn")
+            if component.is_shared:
+                tags.append("shr")
+            if tags:
+                extra = "\\n" + "/".join(tags)
+        lines.append(
+            f'  "{_dot_escape(component.name)}" '
+            f'[label="{_dot_escape(component.name)}{extra}", '
+            f'shape={shape}, style=filled, fillcolor={fill}];'
+        )
+    for link in adg.links():
+        lines.append(
+            f'  "{_dot_escape(link.src)}" -> "{_dot_escape(link.dst)}" '
+            f'[fontsize=7, label="{link.width}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _describe_stream(stream):
+    if isinstance(stream, ConstStream):
+        return f"const {stream.value} x{stream.length}"
+    if isinstance(stream, RecurrenceStream):
+        repeat = f" repeat={stream.repeat}" if stream.repeat > 1 else ""
+        return f"recur <- {stream.source_port} x{stream.length}{repeat}"
+    if isinstance(stream, UpdateStream):
+        if stream.paired_index:
+            return (f"update {stream.array}[fabric-addr] "
+                    f"{stream.update_op}= v x{stream.pair_count}")
+        return (f"update {stream.array}[{stream.index.array}[...]] "
+                f"{stream.update_op}= v x{stream.volume()}")
+    if isinstance(stream, IndirectStream):
+        return (f"gather {stream.array}[{stream.index.array}[...]] "
+                f"x{stream.volume()}"
+                + (" (scalarized)" if getattr(stream, "scalarized", False)
+                   else ""))
+    if isinstance(stream, LinearStream):
+        parts = [f"{stream.array}[{stream.offset}"]
+        if stream.stride != 1:
+            parts.append(f" +{stream.stride}k")
+        parts.append(f" x{stream.length}")
+        if stream.outer_length > 1:
+            parts.append(
+                f" outer x{stream.outer_length} (+{stream.outer_stride})"
+            )
+        if stream.length_stretch:
+            parts.append(f" stretch {stream.length_stretch:+d}")
+        parts.append("]")
+        return "".join(parts)
+    return repr(stream)
+
+
+def describe_region(region, indent="  "):
+    """Indented text summary of one offload region."""
+    lines = [f"region {region.name} "
+             f"(V{region.vector_width}, freq {region.frequency:g})"]
+    if region.join_spec is not None:
+        mode = ("serialized " if region.metadata.get("serial_join")
+                else "")
+        lines.append(
+            f"{indent}{mode}join: {region.join_spec.left_key} vs "
+            f"{region.join_spec.right_key} ({region.join_spec.mode})"
+        )
+    for port, binding in region.input_streams.items():
+        for stream in as_stream_list(binding):
+            lines.append(f"{indent}in  {port:10s} <- "
+                         f"{_describe_stream(stream)}")
+    for port, binding in region.output_streams.items():
+        for stream in as_stream_list(binding):
+            lines.append(f"{indent}out {port:10s} -> "
+                         f"{_describe_stream(stream)}")
+    histogram = region.dfg.opcode_histogram()
+    ops = ", ".join(f"{op} x{count}" for op, count in
+                    sorted(histogram.items()))
+    lines.append(f"{indent}compute: {ops or '(none)'}")
+    return "\n".join(lines)
+
+
+def describe_scope(scope):
+    """Text summary of a configuration scope."""
+    lines = [f"scope {scope.name}: {len(scope.regions)} region(s)"]
+    for region in scope.regions:
+        lines.append(describe_region(region))
+    for producer, src, consumer, dst in scope.forwards:
+        lines.append(f"forward {producer}:{src} -> {consumer}:{dst}")
+    for barrier in scope.barriers:
+        lines.append(f"barrier after {barrier}")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Instruction set and functional-unit capability model.
+
+The paper's PEs "specify a set of instructions which are to be supported;
+functional units (FUs) which support the required functions will be selected
+during hardware generation" (Section III-A). This package defines:
+
+* :mod:`repro.isa.opcodes` — the dataflow instruction set with latency and
+  relative gate-cost metadata.
+* :mod:`repro.isa.fu` — functional-unit descriptors, the FU library, and the
+  set-cover selection used by hardware generation (including decomposable
+  and multi-function units).
+"""
+
+from repro.isa.opcodes import (
+    OPCODES,
+    Opcode,
+    OpCategory,
+    opcode,
+    opcodes_in_category,
+)
+from repro.isa.fu import (
+    FU_LIBRARY,
+    FunctionalUnit,
+    fu_for_opcode,
+    select_functional_units,
+)
+
+__all__ = [
+    "OPCODES",
+    "Opcode",
+    "OpCategory",
+    "opcode",
+    "opcodes_in_category",
+    "FU_LIBRARY",
+    "FunctionalUnit",
+    "fu_for_opcode",
+    "select_functional_units",
+]

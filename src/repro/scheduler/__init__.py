@@ -1,0 +1,33 @@
+"""Spatial scheduling: mapping dataflow onto the ADG.
+
+The scheduler has the paper's three responsibilities (Section IV-C):
+map instructions and streams onto hardware units, route dependences onto
+the network, and match operand-arrival timing for static components.
+
+* :mod:`repro.scheduler.schedule` — the mapping state (placements,
+  routes, stream bindings) with utilization tracking.
+* :mod:`repro.scheduler.router` — congestion-aware Dijkstra routing.
+* :mod:`repro.scheduler.timing` — operand-arrival timing, delay-FIFO
+  budgeting, initiation intervals and recurrence latencies.
+* :mod:`repro.scheduler.objective` — the weighted objective of
+  Algorithm 1 (overutilization, II, recurrence latency, legality).
+* :mod:`repro.scheduler.stochastic` — the iterative stochastic search.
+* :mod:`repro.scheduler.repair` — schedule repair after ADG edits
+  (Section V-A), the key DSE accelerator.
+"""
+
+from repro.scheduler.schedule import Schedule, Vertex
+from repro.scheduler.router import RoutingGraph
+from repro.scheduler.objective import ScheduleCost, evaluate_schedule
+from repro.scheduler.stochastic import SpatialScheduler
+from repro.scheduler.repair import repair_schedule
+
+__all__ = [
+    "Schedule",
+    "Vertex",
+    "RoutingGraph",
+    "ScheduleCost",
+    "evaluate_schedule",
+    "SpatialScheduler",
+    "repair_schedule",
+]

@@ -1,0 +1,128 @@
+"""The scheduling objective of Algorithm 1.
+
+"The objective is formulated as a weighted function which prioritizes
+minimizing: 1. overutilization of PEs and network, 2. maximum initiation
+interval of dedicated PEs, 3. latency of any recurrence paths"
+(Section IV-C). Incompleteness (unplaced vertices, unrouted edges) and
+composition-rule violations dominate everything else so the search always
+prefers progress toward a legal mapping.
+"""
+
+from dataclasses import dataclass
+
+from repro.adg.components import Memory, ProcessingElement, SyncElement
+from repro.scheduler.timing import compute_timing
+
+
+@dataclass
+class ScheduleCost:
+    """Decomposed schedule cost; compare via :meth:`scalar`."""
+
+    unplaced: int = 0
+    unrouted: int = 0
+    overuse_pe: int = 0
+    overuse_port: int = 0
+    overuse_link: int = 0
+    overuse_memory: int = 0
+    flow_violations: int = 0
+    skew_violations: int = 0
+    ii: int = 1                # worst region II (reporting)
+    ii_excess: int = 0         # sum over regions of (II - 1): the search
+    # must see *every* region's II, not just the max — a constant-II
+    # low-rate region would otherwise mask improvements elsewhere.
+    recurrence: int = 0
+    latency: int = 0
+    route_length: int = 0
+
+    # Weights: incompleteness >> overuse >> violations >> II >> recurrence
+    # >> latency/wire-length tiebreaks.
+    W_INCOMPLETE = 10_000.0
+    W_OVERUSE = 1_000.0
+    W_VIOLATION = 200.0
+    W_II = 50.0
+    W_RECURRENCE = 10.0
+    W_LATENCY = 0.5
+    W_ROUTE = 0.05
+
+    def scalar(self):
+        return (
+            self.W_INCOMPLETE * (self.unplaced + self.unrouted)
+            + self.W_OVERUSE * (
+                self.overuse_pe + self.overuse_port
+                + self.overuse_link + self.overuse_memory
+            )
+            + self.W_VIOLATION * (self.flow_violations + self.skew_violations)
+            + self.W_II * self.ii_excess
+            + self.W_RECURRENCE * self.recurrence
+            + self.W_LATENCY * self.latency
+            + self.W_ROUTE * self.route_length
+        )
+
+    @property
+    def is_legal(self):
+        """A legal, complete mapping: ready for code generation."""
+        return (
+            self.unplaced == 0
+            and self.unrouted == 0
+            and self.overuse_pe == 0
+            and self.overuse_port == 0
+            and self.overuse_link == 0
+            and self.overuse_memory == 0
+            and self.flow_violations == 0
+            and self.skew_violations == 0
+        )
+
+    def __lt__(self, other):
+        return self.scalar() < other.scalar()
+
+
+def evaluate_schedule(schedule, routing, timing_result=None):
+    """Compute the :class:`ScheduleCost` of a (partial) schedule."""
+    cost = ScheduleCost()
+    cost.unplaced = len(schedule.unplaced_vertices())
+    cost.unrouted = sum(
+        1 for edge in schedule.edges() if edge not in schedule.routes
+    )
+
+    # PE overuse: beyond one instruction for dedicated, beyond the
+    # instruction buffer for shared.
+    for hw_name, load in schedule.pe_load().items():
+        hw = schedule.adg.node(hw_name)
+        capacity = hw.max_instructions if isinstance(
+            hw, ProcessingElement
+        ) else 1
+        cost.overuse_pe += max(0, load - capacity)
+
+    # Sync elements host a single DFG port per configuration.
+    for hw_name, load in schedule.port_load().items():
+        cost.overuse_port += max(0, load - 1)
+
+    # A dedicated link carries one value per instance.
+    for link_id, load in schedule.link_load().items():
+        cost.overuse_link += max(0, load - 1)
+
+    # Memory stream slots.
+    for memory_name, streams in schedule.memory_streams().items():
+        memory = schedule.adg.node(memory_name)
+        slots = memory.num_stream_slots if isinstance(memory, Memory) else 1
+        cost.overuse_memory += max(0, len(streams) - slots)
+
+    timing = timing_result or compute_timing(schedule, routing)
+    cost.ii = timing.max_ii
+    cost.ii_excess = sum(
+        t.ii - 1 for t in timing.regions.values()
+    )
+    cost.recurrence = max(
+        (t.recurrence_latency for t in timing.regions.values()), default=0
+    )
+    cost.latency = max(
+        (t.latency for t in timing.regions.values()), default=0
+    )
+    cost.flow_violations = sum(
+        t.flow_violations for t in timing.regions.values()
+    )
+    cost.skew_violations = sum(
+        t.skew_violations for t in timing.regions.values()
+    )
+    cost.route_length = sum(len(r) for r in schedule.routes.values())
+    return cost

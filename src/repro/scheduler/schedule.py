@@ -1,0 +1,307 @@
+"""The spatial schedule: a (partial) mapping of a scope onto an ADG.
+
+A schedule maps three kinds of software objects:
+
+* DFG vertices — ``Vertex(region, node_id)`` — onto hardware nodes
+  (instructions onto PEs, DFG inputs/outputs onto sync elements);
+* DFG edges onto network routes (ordered link lists);
+* streams onto memories.
+
+The schedule deliberately allows illegal intermediate states
+(overutilized PEs/links, unplaced vertices): the stochastic search
+minimizes these through the objective rather than forbidding them
+("to avoid local minima during the search, the routing and PE resources
+are allowed to be overutilized", Section IV-C).
+"""
+
+from dataclasses import dataclass
+
+from repro.adg.components import (
+    Direction,
+    ProcessingElement,
+    SyncElement,
+)
+from repro.errors import SchedulingError
+from repro.ir.dfg import NodeKind
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """A software vertex: one DFG node of one region."""
+
+    region: str
+    node_id: int
+
+    def __repr__(self):
+        return f"{self.region}#{self.node_id}"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A software dependence: producer vertex -> consumer operand slot.
+
+    ``operand_index`` is -1 for predicate inputs. ``lane`` selects the
+    producer word being consumed: the pair ``(src, lane)`` is the value
+    identity used for multicast routing — edges carrying the same value
+    may share network links (fanout), edges carrying different values
+    may not (on dedicated/static switches).
+    """
+
+    region: str
+    src_id: int
+    dst_id: int
+    operand_index: int
+    lane: int = 0
+
+    @property
+    def src(self):
+        return Vertex(self.region, self.src_id)
+
+    @property
+    def dst(self):
+        return Vertex(self.region, self.dst_id)
+
+    @property
+    def value(self):
+        """The multicast value identity carried by this edge."""
+        return (self.region, self.src_id, self.lane)
+
+
+class Schedule:
+    """Mapping state for one configuration scope on one ADG."""
+
+    def __init__(self, scope, adg):
+        self.scope = scope
+        self.adg = adg
+        self.placement = {}       # Vertex -> hw node name
+        self.routes = {}          # Edge -> [link_id, ...]
+        self.stream_binding = {}  # (region, port) -> memory name
+        self.input_delays = {}    # Edge -> extra delay-FIFO cycles
+        self._edges = None
+
+    # ------------------------------------------------------------------
+    # Software-side views
+    # ------------------------------------------------------------------
+    def regions(self):
+        return self.scope.regions
+
+    def region(self, name):
+        return self.scope.region(name)
+
+    def vertices(self, kinds=None):
+        """All software vertices, optionally filtered by NodeKind set."""
+        result = []
+        for region in self.scope.regions:
+            for node in region.dfg.nodes():
+                if node.kind is NodeKind.CONST:
+                    continue  # constants are baked into PE configuration
+                if kinds is None or node.kind in kinds:
+                    result.append(Vertex(region.name, node.node_id))
+        return result
+
+    def instruction_vertices(self):
+        return self.vertices({NodeKind.INSTR})
+
+    def port_vertices(self):
+        return self.vertices({NodeKind.INPUT, NodeKind.OUTPUT})
+
+    def node_of(self, vertex):
+        """The DFG node behind a vertex."""
+        return self.scope.region(vertex.region).dfg.node(vertex.node_id)
+
+    def edges(self):
+        """All software dependence edges (cached)."""
+        if self._edges is None:
+            self._edges = []
+            for region in self.scope.regions:
+                for src, dst, idx, lane in region.dfg.edges():
+                    producer = region.dfg.node(src)
+                    if producer.kind is NodeKind.CONST:
+                        continue  # no route needed: consts live in config
+                    self._edges.append(
+                        Edge(region.name, src, dst, idx, lane)
+                    )
+        return self._edges
+
+    def edges_of(self, vertex):
+        """Edges touching a vertex."""
+        return [
+            edge for edge in self.edges()
+            if (edge.region == vertex.region
+                and vertex.node_id in (edge.src_id, edge.dst_id))
+        ]
+
+    # ------------------------------------------------------------------
+    # Mapping operations
+    # ------------------------------------------------------------------
+    def place(self, vertex, hw_name):
+        if not self.adg.has_node(hw_name):
+            raise SchedulingError(f"placement target {hw_name!r} not in ADG")
+        self.placement[vertex] = hw_name
+
+    def unplace(self, vertex):
+        """Remove a vertex's placement and every route touching it."""
+        self.placement.pop(vertex, None)
+        for edge in self.edges_of(vertex):
+            self.routes.pop(edge, None)
+            self.input_delays.pop(edge, None)
+
+    def hw_of(self, vertex):
+        return self.placement.get(vertex)
+
+    def set_route(self, edge, links):
+        self.routes[edge] = list(links)
+
+    def bind_stream(self, region_name, port, memory_name):
+        if not self.adg.has_node(memory_name):
+            raise SchedulingError(f"memory {memory_name!r} not in ADG")
+        self.stream_binding[(region_name, port)] = memory_name
+
+    def clear(self):
+        self.placement.clear()
+        self.routes.clear()
+        self.stream_binding.clear()
+        self.input_delays.clear()
+
+    def clone(self):
+        twin = Schedule(self.scope, self.adg)
+        twin.placement = dict(self.placement)
+        twin.routes = {k: list(v) for k, v in self.routes.items()}
+        twin.stream_binding = dict(self.stream_binding)
+        twin.input_delays = dict(self.input_delays)
+        return twin
+
+    def rebind(self, adg):
+        """Reattach the schedule to a (possibly edited) ADG clone."""
+        self.adg = adg
+
+    # ------------------------------------------------------------------
+    # Status queries
+    # ------------------------------------------------------------------
+    def unplaced_vertices(self):
+        return [v for v in self.vertices() if v not in self.placement]
+
+    def unrouted_edges(self):
+        result = []
+        for edge in self.edges():
+            if edge in self.routes:
+                continue
+            if edge.src in self.placement and edge.dst in self.placement:
+                result.append(edge)
+            elif edge.src not in self.placement or edge.dst not in self.placement:
+                result.append(edge)
+        return result
+
+    def is_complete(self):
+        """Everything placed and routed (legality judged separately)."""
+        if self.unplaced_vertices():
+            return False
+        return all(edge in self.routes for edge in self.edges())
+
+    # ------------------------------------------------------------------
+    # Utilization
+    # ------------------------------------------------------------------
+    def pe_load(self):
+        """PE name -> number of instructions mapped to it."""
+        load = {}
+        for vertex, hw_name in self.placement.items():
+            if self.node_of(vertex).kind is NodeKind.INSTR:
+                load[hw_name] = load.get(hw_name, 0) + 1
+        return load
+
+    def port_load(self):
+        """Sync element name -> number of DFG ports mapped to it."""
+        load = {}
+        for vertex, hw_name in self.placement.items():
+            if self.node_of(vertex).kind in (NodeKind.INPUT, NodeKind.OUTPUT):
+                load[hw_name] = load.get(hw_name, 0) + 1
+        return load
+
+    def link_load(self):
+        """link_id -> number of *distinct values* routed through it.
+
+        Fanout is free: several edges carrying the same (producer, lane)
+        value share a link as one multicast copy.
+        """
+        return {
+            link_id: len(values)
+            for link_id, values in self.link_values().items()
+        }
+
+    def link_values(self):
+        """link_id -> set of value identities routed through it."""
+        values = {}
+        for edge, links in self.routes.items():
+            for link_id in links:
+                values.setdefault(link_id, set()).add(edge.value)
+        return values
+
+    def memory_streams(self):
+        """memory name -> list of (region, port) bound to it."""
+        result = {}
+        for key, memory_name in self.stream_binding.items():
+            result.setdefault(memory_name, []).append(key)
+        return result
+
+    # ------------------------------------------------------------------
+    # Legality helpers (composition rules of Section III-B)
+    # ------------------------------------------------------------------
+    def placement_legal(self, vertex, hw_name):
+        """Is ``hw_name`` an acceptable placement target for ``vertex``?
+
+        Checks capability only; execution-model flow rules are costed in
+        the objective so the search can pass through illegal states.
+        """
+        node = self.node_of(vertex)
+        hw = self.adg.node(hw_name)
+        if node.kind is NodeKind.INSTR:
+            if not isinstance(hw, ProcessingElement):
+                return False
+            if not hw.supports_op(node.op):
+                return False
+            if node.op == "sjoin" and not hw.is_dynamic:
+                return False
+            region = self.scope.region(vertex.region)
+            if (
+                region.join_spec is not None
+                and not region.metadata.get("serial_join", False)
+                and not hw.is_dynamic
+            ):
+                # Transformed stream-join regions consume operands
+                # data-dependently; only dynamic PEs support that
+                # (Section IV-E). The serialized fallback maps anywhere.
+                return False
+            return True
+        if node.kind is NodeKind.INPUT:
+            if not isinstance(hw, SyncElement):
+                return False
+            if hw.direction is not Direction.INPUT:
+                return False
+            return hw.lanes64 >= node.lanes
+        if node.kind is NodeKind.OUTPUT:
+            if not isinstance(hw, SyncElement):
+                return False
+            if hw.direction is not Direction.OUTPUT:
+                return False
+            return hw.lanes64 >= len(node.operands)
+        return False
+
+    def candidates_for(self, vertex):
+        """All legal hardware targets for a vertex."""
+        node = self.node_of(vertex)
+        if node.kind is NodeKind.INSTR:
+            pool = self.adg.pes()
+        else:
+            pool = self.adg.sync_elements()
+        return [
+            hw.name for hw in pool if self.placement_legal(vertex, hw.name)
+        ]
+
+    def summary(self):
+        return {
+            "placed": len(self.placement),
+            "vertices": len(self.vertices()),
+            "routed": len(self.routes),
+            "edges": len(self.edges()),
+            "streams_bound": len(self.stream_binding),
+        }

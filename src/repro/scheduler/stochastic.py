@@ -1,0 +1,505 @@
+"""The iterative stochastic spatial scheduler (Algorithm 1).
+
+Each iteration unmaps one or more mapped instructions (or streams), then
+for each candidate PE (or memory) routes the dependences with Dijkstra,
+recomputes timing, evaluates the objective, and commits the best target.
+The search stops when the mapping is legal and the objective has been
+stable for ``patience`` iterations, or after ``max_iters``.
+
+Repair (Section V-A) falls out naturally: passing a partially valid
+schedule as the starting point resumes the same loop.
+"""
+
+from repro.adg.components import Direction, MemoryKind
+from repro.errors import SchedulingError
+from repro.ir.dfg import NodeKind
+from repro.ir.region import as_stream_list
+from repro.ir.stream import (
+    ConstStream,
+    IndirectStream,
+    RecurrenceStream,
+    UpdateStream,
+)
+from repro.scheduler.objective import evaluate_schedule
+from repro.scheduler.router import RoutingGraph
+from repro.scheduler.schedule import Schedule
+from repro.utils.rng import DeterministicRng
+
+
+class SpatialScheduler:
+    """Stochastic search with solution repair.
+
+    Parameters
+    ----------
+    adg:
+        Target hardware.
+    rng:
+        Randomness source (deterministic by default).
+    max_iters:
+        Iteration budget per :meth:`schedule` call (the paper uses 200
+        during DSE).
+    patience:
+        Stop once legal and stable for this many iterations.
+    max_candidates:
+        Candidate targets sampled per move (bounds per-iteration work).
+    """
+
+    def __init__(self, adg, rng=None, max_iters=200, patience=25,
+                 max_candidates=10):
+        self.adg = adg
+        self.routing = RoutingGraph(adg)
+        self.rng = rng or DeterministicRng(0)
+        self.max_iters = max_iters
+        self.patience = patience
+        self.max_candidates = max_candidates
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def schedule(self, scope, initial=None):
+        """Map ``scope`` onto the ADG.
+
+        Returns ``(schedule, cost)`` with the best mapping found; the cost
+        may be illegal when the hardware simply cannot host the scope —
+        callers check ``cost.is_legal``.
+        """
+        sched = initial if initial is not None else Schedule(scope, self.adg)
+        if initial is not None and sched.adg is not self.adg:
+            sched.rebind(self.adg)
+        self._region_rates = self._compute_region_rates(scope)
+        self._bind_streams(sched)
+        self._greedy_place(sched)
+        self._route_all(sched)
+        best = sched.clone()
+        best_cost = evaluate_schedule(best, self.routing)
+        stable = 0
+        self.last_iterations = 0
+        for _ in range(self.max_iters):
+            if best_cost.is_legal and stable >= self.patience:
+                break
+            self.last_iterations += 1
+            if not best_cost.is_legal and stable and stable % 12 == 0:
+                # Stalled with congestion: rip up every route and rebuild
+                # in randomized order under congestion pricing.
+                self._global_reroute(sched)
+            # Near a solution but stalled: stop sampling, consider every
+            # candidate (small fabrics afford exhaustive moves).
+            self._thorough = (
+                not best_cost.is_legal and stable >= 8
+            )
+            improved = self._iterate(sched)
+            cost = evaluate_schedule(sched, self.routing)
+            if cost.scalar() < best_cost.scalar():
+                best = sched.clone()
+                best_cost = cost
+                stable = 0
+            else:
+                stable += 1
+            if not improved and not best_cost.is_legal:
+                # No move available at all: perturb by unmapping a random
+                # placed vertex to escape.
+                placed = [v for v in sched.vertices() if v in sched.placement]
+                if placed:
+                    sched.unplace(self.rng.choice(placed))
+        return best, best_cost
+
+    # ------------------------------------------------------------------
+    # Stream binding (responsibility 1 for streams)
+    # ------------------------------------------------------------------
+    def _bind_streams(self, sched):
+        """Bind every memory-touching stream to a memory node.
+
+        The compiler records per-array placement in
+        ``region.metadata['array_memory']`` ('spad' or 'dma'); arrays
+        default to the DMA/L2 interface. Streams needing the indirect
+        controller or atomic update only bind to capable memories.
+        """
+        spad = self.adg.scratchpad()
+        dma = self.adg.dma()
+        for region in sched.regions():
+            placement = region.metadata.get("array_memory", {})
+            bindings = list(region.input_streams.items()) + list(
+                region.output_streams.items()
+            )
+            for port, binding in bindings:
+                for stream in as_stream_list(binding):
+                    if isinstance(stream, (ConstStream, RecurrenceStream)):
+                        continue
+                    memory = self._memory_for(
+                        stream, placement.get(stream.array, "dma"),
+                        spad, dma,
+                    )
+                    if memory is None:
+                        raise SchedulingError(
+                            f"no memory can execute stream on "
+                            f"{region.name}:{port} (array {stream.array!r})"
+                        )
+                    sched.bind_stream(region.name, port, memory.name)
+
+    def _memory_for(self, stream, preferred, spad, dma):
+        candidates = []
+        if preferred == "spad" and spad is not None:
+            candidates = [spad, dma]
+        else:
+            candidates = [dma, spad]
+        scalarized = getattr(stream, "scalarized", False)
+        for memory in candidates:
+            if memory is None:
+                continue
+            if not scalarized:
+                if isinstance(stream, UpdateStream):
+                    if not (memory.indirect and memory.atomic_update):
+                        continue
+                elif isinstance(stream, IndirectStream):
+                    if not memory.indirect:
+                        continue
+            return memory
+        return None
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _greedy_place(self, sched):
+        """Initial placement: ports first (they are scarce), then
+        instructions near their operands."""
+        for vertex in sched.unplaced_vertices():
+            node = sched.node_of(vertex)
+            if node.kind in (NodeKind.INPUT, NodeKind.OUTPUT):
+                self._place_best(sched, vertex)
+        for vertex in sched.unplaced_vertices():
+            self._place_best(sched, vertex)
+
+    def _port_candidates(self, sched, vertex):
+        """Sync-element candidates respecting memory connectivity."""
+        node = sched.node_of(vertex)
+        candidates = sched.candidates_for(vertex)
+        memory_name = sched.stream_binding.get((vertex.region, node.name))
+        if memory_name is None:
+            return candidates
+        filtered = []
+        for name in candidates:
+            if node.kind is NodeKind.INPUT:
+                connected = any(
+                    link.src == memory_name
+                    for link in sched.adg.in_links(name)
+                )
+            else:
+                connected = any(
+                    link.dst == memory_name
+                    for link in sched.adg.out_links(name)
+                )
+            if connected:
+                filtered.append(name)
+        return filtered or candidates
+
+    def _candidates(self, sched, vertex):
+        node = sched.node_of(vertex)
+        if node.kind in (NodeKind.INPUT, NodeKind.OUTPUT):
+            pool = self._port_candidates(sched, vertex)
+        else:
+            pool = sched.candidates_for(vertex)
+        if len(pool) <= self.max_candidates or getattr(
+            self, "_thorough", False
+        ):
+            return pool
+        # Bias toward tiles near the vertex's placed neighbors (short
+        # wires route and time more easily), keeping a random remainder
+        # for diversity.
+        anchors = []
+        for edge in sched.edges_of(vertex):
+            other = edge.dst if edge.src == vertex else edge.src
+            hw = sched.placement.get(other)
+            if hw is not None:
+                anchors.append(hw)
+        if anchors:
+            def proximity(hw_name):
+                return sum(
+                    min(self.routing.hops(a, hw_name),
+                        self.routing.hops(hw_name, a))
+                    for a in anchors
+                )
+
+            ranked = sorted(pool, key=proximity)
+            near_count = max(2, self.max_candidates * 2 // 3)
+            pool = ranked[:near_count] + self.rng.sample(
+                ranked[near_count:],
+                min(self.max_candidates - near_count,
+                    len(ranked) - near_count),
+            )
+        else:
+            pool = self.rng.sample(pool, self.max_candidates)
+        return pool
+
+    def _compute_region_rates(self, scope):
+        """Relative firing rates per region: low-rate (outer-loop)
+        regions should favor shared PEs, high-rate regions dedicated
+        ones (Section IV-C)."""
+        rates = {}
+        for region in scope.regions:
+            try:
+                instances = region.instance_count()
+            except Exception:
+                instances = region.expected_instances
+            rates[region.name] = max(1.0, float(
+                (instances or 1) * max(region.frequency, 1.0)
+            ))
+        peak = max(rates.values(), default=1.0)
+        return {name: rate / peak for name, rate in rates.items()}
+
+    def _rate_bias(self, sched, vertex, hw_name):
+        """Soft placement preference: below real-cost weights, above
+        tie-breaking noise."""
+        node = sched.node_of(vertex)
+        if node.kind is not NodeKind.INSTR:
+            return 0.0
+        hw = sched.adg.node(hw_name)
+        is_shared = getattr(hw, "is_shared", False)
+        rate = self._region_rates.get(vertex.region, 1.0)
+        if is_shared and rate > 0.5:
+            return 40.0   # high-rate work wants a dedicated tile
+        if not is_shared and rate < 0.1:
+            return 40.0   # outer-loop work should yield dedicated tiles
+        return 0.0
+
+    def _place_best(self, sched, vertex):
+        """Try every sampled candidate; commit the one with the best
+        objective (Algorithm 1 inner loop). Returns True on success."""
+        pool = self._candidates(sched, vertex)
+        if not pool:
+            return False
+        best_name, best_scalar = None, float("inf")
+        best_routes = None
+        for hw_name in pool:
+            sched.place(vertex, hw_name)
+            routed = self._route_vertex_edges(sched, vertex)
+            cost = evaluate_schedule(sched, self.routing)
+            scalar = cost.scalar() + self._rate_bias(sched, vertex, hw_name)
+            if scalar < best_scalar:
+                best_scalar = scalar
+                best_name = hw_name
+                best_routes = {
+                    edge: list(sched.routes[edge])
+                    for edge in routed if edge in sched.routes
+                }
+            # Roll back routes for the next candidate.
+            for edge in routed:
+                sched.routes.pop(edge, None)
+            sched.placement.pop(vertex, None)
+        if best_name is None:
+            return False
+        sched.place(vertex, best_name)
+        for edge, links in (best_routes or {}).items():
+            sched.set_route(edge, links)
+        return True
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route_vertex_edges(self, sched, vertex):
+        """(Re)route all edges of ``vertex`` whose endpoints are placed.
+
+        Returns the list of edges attempted (routed or not).
+        """
+        attempted = []
+        # Drop this vertex's existing routes first so they neither count
+        # as congestion nor survive a move.
+        for edge in sched.edges_of(vertex):
+            sched.routes.pop(edge, None)
+        link_values = sched.link_values()
+        for edge in sched.edges_of(vertex):
+            src_hw = sched.placement.get(edge.src)
+            dst_hw = sched.placement.get(edge.dst)
+            attempted.append(edge)
+            if src_hw is None or dst_hw is None:
+                continue
+            path = self.routing.route(
+                src_hw, dst_hw, link_values, edge.value
+            )
+            if path is not None:
+                sched.set_route(edge, path)
+                for link_id in path:
+                    link_values.setdefault(link_id, set()).add(edge.value)
+        return attempted
+
+    def _route_all(self, sched):
+        for vertex in sched.vertices():
+            if vertex in sched.placement:
+                missing = [
+                    edge for edge in sched.edges_of(vertex)
+                    if edge not in sched.routes
+                ]
+                if missing:
+                    self._route_vertex_edges(sched, vertex)
+
+    # ------------------------------------------------------------------
+    # One Algorithm-1 iteration
+    # ------------------------------------------------------------------
+    def _iterate(self, sched):
+        # PathFinder-style move: sometimes rip up one congested route and
+        # re-route it under current congestion pricing, without touching
+        # placement (cheap and often enough to untangle hot links).
+        if self.rng.accept(0.30) and self._reroute_congested(sched):
+            return True
+        # Swap move: exchange two placed instructions (the escape for
+        # near-full fabrics where single re-placement cannot help).
+        if self.rng.accept(0.25) and self._swap_instructions(sched):
+            return True
+        vertex = self._pick_victim(sched)
+        if vertex is None:
+            return False
+        # "Unmap one or more mapped instructions" (Algorithm 1):
+        # occasionally evict a second vertex to open room.
+        extra = None
+        if self.rng.accept(0.15):
+            placed = [v for v in sched.vertices()
+                      if v in sched.placement and v != vertex]
+            if placed:
+                extra = self.rng.choice(placed)
+                sched.unplace(extra)
+        sched.unplace(vertex)
+        placed_ok = self._place_best(sched, vertex)
+        if extra is not None:
+            placed_ok = self._place_best(sched, extra) and placed_ok
+        return placed_ok
+
+    def _swap_instructions(self, sched):
+        """Swap the placements of a congestion-involved instruction and a
+        random other instruction; keep the swap only if it improves the
+        objective."""
+        from repro.ir.dfg import NodeKind as _NK
+
+        instrs = [
+            v for v in sched.vertices({_NK.INSTR}) if v in sched.placement
+        ]
+        if len(instrs) < 2:
+            return False
+        first = self._pick_victim(sched)
+        if (
+            first is None
+            or first not in sched.placement
+            or sched.node_of(first).kind is not _NK.INSTR
+        ):
+            first = self.rng.choice(instrs)
+        second = self.rng.choice([v for v in instrs if v != first])
+        hw_first = sched.placement[first]
+        hw_second = sched.placement[second]
+        if not (sched.placement_legal(first, hw_second)
+                and sched.placement_legal(second, hw_first)):
+            return False
+        before = evaluate_schedule(sched, self.routing).scalar()
+        saved_routes = {
+            edge: list(links) for edge, links in sched.routes.items()
+        }
+        sched.unplace(first)
+        sched.unplace(second)
+        sched.place(first, hw_second)
+        sched.place(second, hw_first)
+        self._route_vertex_edges(sched, first)
+        self._route_vertex_edges(sched, second)
+        after = evaluate_schedule(sched, self.routing).scalar()
+        if after < before:
+            return True
+        # Revert.
+        sched.unplace(first)
+        sched.unplace(second)
+        sched.place(first, hw_first)
+        sched.place(second, hw_second)
+        sched.routes = saved_routes
+        return True
+
+    def _global_reroute(self, sched):
+        """PathFinder-style full rip-up: reroute every placed edge in a
+        random order so early routes stop blocking later ones."""
+        edges = [
+            edge for edge in sched.edges()
+            if edge.src in sched.placement and edge.dst in sched.placement
+        ]
+        self.rng.shuffle(edges)
+        sched.routes.clear()
+        link_values = {}
+        for edge in edges:
+            path = self.routing.route(
+                sched.placement[edge.src], sched.placement[edge.dst],
+                link_values, edge.value,
+            )
+            if path is not None:
+                sched.set_route(edge, path)
+                for link_id in path:
+                    link_values.setdefault(link_id, set()).add(edge.value)
+
+    def _reroute_congested(self, sched):
+        link_load = sched.link_load()
+        hot = {l for l, load in link_load.items() if load > 1}
+        if not hot:
+            return False
+        congested = [
+            edge for edge, links in sched.routes.items()
+            if any(link_id in hot for link_id in links)
+        ]
+        if not congested:
+            return False
+        edge = self.rng.choice(congested)
+        old = sched.routes.pop(edge)
+        src_hw = sched.placement.get(edge.src)
+        dst_hw = sched.placement.get(edge.dst)
+        if src_hw is None or dst_hw is None:
+            return False
+        path = self.routing.route(
+            src_hw, dst_hw, sched.link_values(), edge.value
+        )
+        sched.set_route(edge, path if path is not None else old)
+        return True
+
+    def _pick_victim(self, sched):
+        """Prefer vertices that contribute to cost: unplaced ones, those
+        on overused resources, then anything."""
+        unplaced = sched.unplaced_vertices()
+        if unplaced:
+            return self.rng.choice(unplaced)
+        overused = []
+        pe_load = sched.pe_load()
+        port_load = sched.port_load()
+        for vertex, hw_name in sched.placement.items():
+            node = sched.node_of(vertex)
+            if node.kind is NodeKind.INSTR:
+                hw = sched.adg.node(hw_name)
+                capacity = getattr(hw, "max_instructions", 1)
+                if pe_load.get(hw_name, 0) > capacity:
+                    overused.append(vertex)
+            elif port_load.get(hw_name, 0) > 1:
+                overused.append(vertex)
+        link_load = sched.link_load()
+        hot_links = {
+            link_id for link_id, load in link_load.items() if load > 1
+        }
+        for edge, links in sched.routes.items():
+            if any(link_id in hot_links for link_id in links):
+                if edge.dst in sched.placement:
+                    overused.append(edge.dst)
+        # Execution-model flow violations (Section III-B): either endpoint
+        # of a static->dynamic or dedicated->shared edge is a good victim.
+        from repro.adg.components import ProcessingElement as _PE
+
+        for edge in sched.edges():
+            src_hw = sched.placement.get(edge.src)
+            dst_hw = sched.placement.get(edge.dst)
+            if src_hw is None or dst_hw is None:
+                continue
+            src_node = sched.adg.node(src_hw)
+            dst_node = sched.adg.node(dst_hw)
+            if not (isinstance(src_node, _PE) and isinstance(dst_node, _PE)):
+                continue
+            if (not src_node.is_dynamic and dst_node.is_dynamic) or (
+                not src_node.is_shared and dst_node.is_shared
+            ):
+                overused.append(edge.src)
+                overused.append(edge.dst)
+        unrouted = [
+            edge.src for edge in sched.edges()
+            if edge not in sched.routes and edge.src in sched.placement
+        ]
+        pool = overused or unrouted
+        if pool:
+            return self.rng.choice(pool)
+        everything = [v for v in sched.vertices() if v in sched.placement]
+        return self.rng.choice(everything) if everything else None

@@ -1,0 +1,246 @@
+"""Operand-arrival timing for spatial schedules.
+
+Responsibility 3 of the scheduler (Section IV-C): "match the timing of
+operand arrival (for static components)". For every placed-and-routed
+region this module computes:
+
+* per-vertex ready/finish times following routed path latencies;
+* delay-FIFO assignments that equalize operand skew at static PEs, plus
+  the violation amount where the FIFO depth is insufficient (throughput
+  loss is proportional to residual imbalance [64]);
+* the fabric initiation interval (dedicated vs shared vs unpipelined);
+* recurrence-path latencies (reductions and self-recurrence streams);
+* execution-model flow violations (static -> dynamic without a sync
+  element, dedicated -> shared).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.adg.components import ProcessingElement, SyncElement
+from repro.ir.dfg import NodeKind
+from repro.ir.region import as_stream_list
+from repro.ir.stream import RecurrenceStream
+from repro.isa.opcodes import OPCODES
+from repro.scheduler.schedule import Vertex
+
+
+@dataclass
+class RegionTiming:
+    """Timing summary for one region."""
+
+    latency: int = 0               # input fire -> last output arrival
+    ii: int = 1                    # initiation interval (cycles/instance)
+    recurrence_latency: int = 0    # longest dependence cycle
+    skew_violations: int = 0       # delay-FIFO shortfall (cycles)
+    flow_violations: int = 0       # illegal execution-model edges
+    ready_times: dict = field(default_factory=dict)
+
+
+@dataclass
+class TimingResult:
+    """Timing for every region of a schedule."""
+
+    regions: dict = field(default_factory=dict)
+
+    @property
+    def total_violations(self):
+        return sum(
+            t.skew_violations + t.flow_violations
+            for t in self.regions.values()
+        )
+
+    @property
+    def max_ii(self):
+        return max((t.ii for t in self.regions.values()), default=1)
+
+
+def _node_latency(node):
+    if node.kind is NodeKind.INSTR:
+        return OPCODES[node.op].latency
+    return 0
+
+
+def compute_timing(schedule, routing, assign_delays=True):
+    """Compute :class:`TimingResult` for ``schedule``.
+
+    Unplaced/unrouted regions still produce entries (with their placed
+    subset timed) so repair can reason about partial schedules. When
+    ``assign_delays`` is set, the computed per-edge delay-FIFO settings
+    are written into ``schedule.input_delays``.
+    """
+    result = TimingResult()
+    per_pe = _pe_initiation_intervals(schedule)
+    ii_link = _link_initiation_interval(schedule)
+    for region in schedule.regions():
+        timing = _time_region(
+            schedule, routing, region, assign_delays
+        )
+        # A region's II is bounded by the PEs *it* occupies (a once-per-
+        # launch divide in a low-rate region must not throttle the
+        # high-rate region it feeds) — but contention on shared PEs it
+        # co-occupies with other regions is included via per-PE totals.
+        region_pes = {
+            schedule.placement.get(Vertex(region.name, node.node_id))
+            for node in region.dfg.instructions()
+        }
+        region_ii = max(
+            (per_pe.get(hw, 1) for hw in region_pes if hw is not None),
+            default=1,
+        )
+        timing.ii = max(timing.ii, region_ii, ii_link)
+        result.regions[region.name] = timing
+    return result
+
+
+def _pe_initiation_intervals(schedule):
+    """Per-PE issue cost: dedicated pipelined PEs sustain one op/cycle;
+    shared PEs issue one of their k instructions per cycle; unpipelined
+    opcodes block for their latency. Returns ``{pe_name: cost}``."""
+    per_pe = {}
+    for vertex, hw_name in schedule.placement.items():
+        node = schedule.node_of(vertex)
+        if node.kind is not NodeKind.INSTR:
+            continue
+        op = OPCODES[node.op]
+        cost = op.latency if not op.pipelined else 1
+        per_pe[hw_name] = per_pe.get(hw_name, 0) + cost
+    return per_pe
+
+
+def _link_initiation_interval(schedule):
+    """A link carrying k software edges time-multiplexes k words per
+    instance."""
+    load = schedule.link_load()
+    return max(load.values(), default=1)
+
+
+def _time_region(schedule, routing, region, assign_delays):
+    timing = RegionTiming()
+    dfg = region.dfg
+    ready = {}
+    finish = {}
+
+    for node_id in dfg.topological_order():
+        node = dfg.node(node_id)
+        vertex = Vertex(region.name, node_id)
+        if node.kind is NodeKind.CONST:
+            finish[node_id] = 0
+            continue
+        if node.kind is NodeKind.INPUT:
+            # Sync elements release all inputs simultaneously at t=0.
+            ready[node_id] = 0
+            finish[node_id] = 0
+            continue
+
+        arrivals = []
+        refs = list(node.operands)
+        if node.predicate is not None:
+            refs.append(node.predicate)
+        for index, ref in enumerate(refs):
+            producer = dfg.node(ref.node_id)
+            if producer.kind is NodeKind.CONST:
+                continue  # constants are resident in the PE configuration
+            operand_index = index if index < len(node.operands) else -1
+            edge = _find_edge(schedule, region.name, ref.node_id,
+                              node_id, operand_index, ref.lane)
+            base = finish.get(ref.node_id, 0)
+            route = schedule.routes.get(edge)
+            hop = routing.path_latency(route) if route is not None else 0
+            arrivals.append((edge, base + hop))
+
+        if arrivals:
+            target = max(time for _, time in arrivals)
+        else:
+            target = 0
+        ready[node_id] = target
+        finish[node_id] = target + _node_latency(node)
+
+        hw_name = schedule.placement.get(vertex)
+        if hw_name is not None and node.kind is NodeKind.INSTR:
+            hw = schedule.adg.node(hw_name)
+            if isinstance(hw, ProcessingElement) and not hw.is_dynamic:
+                timing.skew_violations += _assign_delays(
+                    schedule, hw, arrivals, target, assign_delays
+                )
+            timing.flow_violations += _flow_violations(
+                schedule, region, node, hw
+            )
+
+    timing.ready_times = ready
+    timing.latency = max(finish.values(), default=0)
+    timing.recurrence_latency = _recurrence_latency(
+        schedule, routing, region, finish
+    )
+    if timing.recurrence_latency:
+        timing.ii = max(timing.ii, 1)
+    return timing
+
+
+def _find_edge(schedule, region_name, src_id, dst_id, operand_index, lane):
+    from repro.scheduler.schedule import Edge
+
+    return Edge(region_name, src_id, dst_id, operand_index, lane)
+
+
+def _assign_delays(schedule, pe, arrivals, target, assign):
+    """Equalize operand skew through the PE's input delay FIFOs; returns
+    violation cycles that exceed the FIFO depth."""
+    violations = 0
+    for edge, time in arrivals:
+        skew = target - time
+        absorbed = min(skew, pe.delay_fifo_depth)
+        if assign:
+            schedule.input_delays[edge] = absorbed
+        violations += skew - absorbed
+    return violations
+
+
+def _flow_violations(schedule, region, node, hw):
+    """Count illegal execution-model edges into this instruction
+    (Section III-B): static producer -> dynamic consumer (needs a sync
+    element) and dedicated producer -> shared consumer."""
+    violations = 0
+    refs = list(node.operands)
+    if node.predicate is not None:
+        refs.append(node.predicate)
+    for ref in refs:
+        producer = region.dfg.node(ref.node_id)
+        if producer.kind is not NodeKind.INSTR:
+            continue
+        producer_hw_name = schedule.placement.get(
+            Vertex(region.name, producer.node_id)
+        )
+        if producer_hw_name is None:
+            continue
+        producer_hw = schedule.adg.node(producer_hw_name)
+        if not isinstance(producer_hw, ProcessingElement):
+            continue
+        if not producer_hw.is_dynamic and hw.is_dynamic:
+            violations += 1
+        if not producer_hw.is_shared and hw.is_shared:
+            violations += 1
+    return violations
+
+
+def _recurrence_latency(schedule, routing, region, finish):
+    """Longest dependence cycle: reduction opcodes recur internally with
+    their own latency; self-recurrence streams (output port recycled into
+    an input port) loop through the whole routed datapath."""
+    # Fallback transforms may force a serialized dependence (e.g. the
+    # naive join's pointer-chasing loop, Section IV-E).
+    longest = region.metadata.get("forced_recurrence", 0)
+    for node in region.dfg.instructions():
+        if node.reduction:
+            longest = max(longest, OPCODES[node.op].latency)
+    output_names = {n.name: n for n in region.dfg.outputs()}
+    for port, binding in region.input_streams.items():
+        for stream in as_stream_list(binding):
+            if not isinstance(stream, RecurrenceStream):
+                continue
+            source = output_names.get(stream.source_port)
+            if source is None:
+                continue  # cross-region forward: pipelined, not a cycle
+            # Loop: output arrival + 2 cycles through the port pair.
+            loop = finish.get(source.node_id, 0) + 2
+            longest = max(longest, loop)
+    return longest

@@ -1,0 +1,675 @@
+"""The cycle-level machine model.
+
+Component models:
+
+* **Control core** — issues the generated command list in order; each
+  command costs its ``issue_cycles``; CONFIG costs the configuration time
+  (the hardware generator's config-path length); BARRIER blocks until the
+  named region drains; WAIT_ALL ends the program.
+* **Memory engines** — each memory arbitrates its active streams
+  round-robin with three service channels per cycle: one *line* request
+  (delivering the stream's average words/request, which models
+  coalescing: unit-stride streams move a full line, small-stride FFT
+  stages move one word), ``banks`` *indirect* word requests, and one
+  *scalarized* word every ``SCALAR_ACCESS_CYCLES`` (the no-indirect-
+  controller fallback, served by the core).
+* **Sync elements** — finite FIFOs (``depth x lanes64`` words); full
+  output FIFOs backpressure the fabric, empty input FIFOs stall it.
+* **Fabric** — each region fires one instance per ``II`` cycles when
+  every input port holds a full vector and every output FIFO has room;
+  results appear ``latency`` cycles later. Join regions consume keys at
+  one merge comparison per cycle following the recorded pop sequence.
+* **Recurrences** — forwarded words re-enter their consumer port two
+  cycles after production (the port-to-port loop).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.adg.components import Memory, SyncElement
+from repro.compiler.codegen import CommandKind, generate_control_program
+from repro.errors import SimulationError
+from repro.ir.dfg import NodeKind
+from repro.ir.interp import execute_scope
+from repro.ir.region import as_stream_list
+from repro.ir.stream import (
+    ConstStream,
+    IndirectStream,
+    RecurrenceStream,
+    stream_requests,
+)
+from repro.scheduler.timing import compute_timing
+from repro.scheduler.router import RoutingGraph
+
+#: Core cycles per scalarized indirect access (matches the compiler's
+#: fallback model).
+SCALAR_ACCESS_CYCLES = 4
+#: Port-to-port recurrence forwarding latency.
+RECURRENCE_LATENCY = 2
+#: Safety bound: a simulation exceeding this many cycles per word of
+#: traffic has deadlocked.
+_DEADLOCK_FACTOR = 64
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation."""
+
+    cycles: int
+    memory: dict
+    region_cycles: dict = field(default_factory=dict)
+    memory_busy: dict = field(default_factory=dict)
+    instances: dict = field(default_factory=dict)
+    config_cycles: int = 0
+
+    def __repr__(self):
+        return f"SimResult(cycles={self.cycles})"
+
+
+class _Segment:
+    """One stream command's worth of traffic on a port.
+
+    Inputs use ``moved`` (words delivered into the port FIFO). Outputs
+    additionally use ``filled`` (words the fabric has produced into this
+    segment) so memory drains never run ahead of production and
+    recurrence segments never swallow memory-bound words.
+    """
+
+    def __init__(self, kind, words, memory_name=None, rate_words=1.0,
+                 channel="line", repeat=1):
+        self.kind = kind          # 'mem', 'const', 'recur'
+        self.words = words        # physical words to move
+        self.moved = 0
+        self.filled = 0
+        self.memory_name = memory_name
+        self.rate_words = rate_words  # words delivered per request
+        self.channel = channel    # 'line' | 'indirect' | 'scalar'
+        self.repeat = repeat      # logical pops per physical word
+        self._carry = 0.0
+
+    @property
+    def done(self):
+        return self.moved >= self.words
+
+    def serve(self, budget_words):
+        """Move up to ``budget_words``; returns words moved."""
+        take = min(int(budget_words), self.words - self.moved)
+        self.moved += take
+        return take
+
+
+class _Port:
+    """A sync element instance bound to one DFG port."""
+
+    def __init__(self, name, capacity, segments):
+        self.name = name
+        self.capacity = max(1, capacity)
+        self.fill = 0
+        self.segments = segments
+        self.cursor = 0          # input delivery / output drain cursor
+        self.assign_cursor = 0   # output production cursor
+
+    @property
+    def space(self):
+        return self.capacity - self.fill
+
+    def active_segment(self):
+        while self.cursor < len(self.segments):
+            segment = self.segments[self.cursor]
+            if not segment.done:
+                return segment
+            self.cursor += 1
+        return None
+
+    def drain_segment(self):
+        """Output side: the segment whose produced words await their
+        memory drain (never ahead of production)."""
+        while self.cursor < len(self.segments):
+            segment = self.segments[self.cursor]
+            if not segment.done:
+                if segment.kind != "mem":
+                    # Recurrence segments complete through the loopback
+                    # path; wait for production to pass them.
+                    if segment.moved < segment.words:
+                        return None
+                    self.cursor += 1
+                    continue
+                if segment.moved < segment.filled:
+                    return segment
+                return None
+            self.cursor += 1
+        return None
+
+    def assign_production(self, words):
+        """Output side: attribute ``words`` produced by the fabric to
+        segments in order. Returns ``(recur_words, memory_words)``."""
+        recur_words = 0
+        memory_words = 0
+        while words > 0 and self.assign_cursor < len(self.segments):
+            segment = self.segments[self.assign_cursor]
+            room = segment.words - segment.filled
+            if room <= 0:
+                self.assign_cursor += 1
+                continue
+            take = min(words, room)
+            segment.filled += take
+            words -= take
+            if segment.kind == "recur":
+                segment.moved += take  # leaves through the loopback
+                recur_words += take
+            else:
+                memory_words += take
+        return recur_words, memory_words
+
+    @property
+    def drained(self):
+        return self.active_segment() is None and self.fill == 0
+
+
+class _RegionState:
+    """Execution state of one region on the fabric."""
+
+    def __init__(self, region, timing, trace_record):
+        self.region = region
+        self.ii = timing.ii if timing else 1
+        self.latency = timing.latency if timing else 1
+        # Dependent accumulation serializes successive instances unless
+        # parallel chains were provisioned (same law as the performance
+        # model's dependence ratio, Section V-B).
+        recurrence = timing.recurrence_latency if timing else 0
+        concurrency = max(
+            region.metadata.get("partial_sums", 1),
+            region.metadata.get("recurrence_concurrency", 1),
+        )
+        if recurrence > 1 and region.join_spec is None:
+            self.ii = max(self.ii, -(-recurrence // concurrency))
+        #: Serialized (fallback) joins pay the pointer-chasing loop per
+        #: comparison; transformed joins compare once per cycle.
+        self.join_cycle_per_comparison = 1
+        if region.join_spec is not None and region.metadata.get(
+            "serial_join"
+        ):
+            self.join_cycle_per_comparison = max(
+                1, region.metadata.get("forced_recurrence", 1)
+            )
+        self.total_instances = trace_record["instances"]
+        self.emitted = trace_record["emitted"]
+        self.join_pops = list(trace_record["join_pops"])
+        self.fired = 0
+        self.next_fire = 0
+        self.join_cursor = 0
+        self.join_busy_until = 0
+        self.in_ports = {}    # dfg input name -> (_Port, lanes)
+        self.out_ports = {}   # dfg output name -> _Port
+        self.inflight = []    # (completion_cycle, {port: words})
+        self.recur_sinks = {}  # output port -> [(consumer_port_obj, words_left)]
+
+    @property
+    def all_fired(self):
+        return self.fired >= self.total_instances
+
+    def done(self):
+        return (
+            self.all_fired
+            and not self.inflight
+            and all(p.drained for p in self.out_ports.values())
+        )
+
+
+class CycleSimulator:
+    """Simulate a compiled scope on its scheduled ADG."""
+
+    def __init__(self, adg, scope, schedule, program=None,
+                 config_cycles=None):
+        self.adg = adg
+        self.scope = scope
+        self.schedule = schedule
+        self.program = program or generate_control_program(scope, schedule)
+        if config_cycles is None:
+            # Until the hardware generator provides real config paths,
+            # approximate: one word per configurable node.
+            config_cycles = max(
+                1, len(adg.pes()) + len(adg.switches())
+            )
+        self.config_cycles = config_cycles
+        self.timing = compute_timing(schedule, RoutingGraph(adg))
+
+    # ------------------------------------------------------------------
+    def run(self, memory):
+        """Execute functionally, then replay with timing.
+
+        ``memory`` is mutated to the program's final state. Returns a
+        :class:`SimResult` whose ``cycles`` is the modeled wall-clock.
+        """
+        trace = {}
+        execute_scope(self.scope, memory, trace=trace)
+        states = self._build_states(trace)
+        return self._replay(states, memory)
+
+    # ------------------------------------------------------------------
+    def _port_capacity(self, region_name, dfg_port_name):
+        hw_name = None
+        for vertex, hw in self.schedule.placement.items():
+            if vertex.region != region_name:
+                continue
+            node = self.schedule.node_of(vertex)
+            if node.kind in (NodeKind.INPUT, NodeKind.OUTPUT) \
+                    and node.name == dfg_port_name:
+                hw_name = hw
+                break
+        if hw_name is None or not self.adg.has_node(hw_name):
+            return 8
+        element = self.adg.node(hw_name)
+        if isinstance(element, SyncElement):
+            return element.depth * element.lanes64
+        return 8
+
+    def _segments_for(self, region, port, binding, trace_words=None):
+        segments = []
+        for stream in as_stream_list(binding):
+            if isinstance(stream, ConstStream):
+                segments.append(_Segment("const", stream.volume()))
+            elif isinstance(stream, RecurrenceStream):
+                # Non-discarding reads (repeat > 1) move one physical
+                # word that the port re-reads many times.
+                segments.append(_Segment(
+                    "recur", stream.length // stream.repeat,
+                    repeat=stream.repeat,
+                ))
+            else:
+                memory_name = self.schedule.stream_binding.get(
+                    (region.name, port)
+                )
+                mem = (
+                    self.adg.node(memory_name)
+                    if memory_name and self.adg.has_node(memory_name)
+                    else None
+                )
+                line_words = 8
+                coalescing = False
+                if isinstance(mem, Memory):
+                    line_words = max(1, mem.width_bytes // stream.word_bytes)
+                    coalescing = mem.coalescing
+                words = stream.volume()
+                if getattr(stream, "scalarized", False):
+                    channel, rate = "scalar", 1.0
+                elif isinstance(stream, IndirectStream):
+                    channel, rate = "indirect", 1.0
+                else:
+                    requests = max(1, stream_requests(
+                        stream, line_words=line_words,
+                        coalescing=coalescing,
+                    ))
+                    channel, rate = "line", max(1.0, words / requests)
+                segments.append(_Segment(
+                    "mem", words, memory_name=memory_name,
+                    rate_words=rate, channel=channel,
+                ))
+        if trace_words is not None:
+            # Compacting outputs move fewer words than declared.
+            declared = sum(s.words for s in segments)
+            actual = trace_words
+            if actual < declared:
+                excess = declared - actual
+                for segment in reversed(segments):
+                    shave = min(excess, segment.words)
+                    segment.words -= shave
+                    excess -= shave
+                    if not excess:
+                        break
+        return segments
+
+    def _build_states(self, trace):
+        states = {}
+        recur_queues = {}  # source port name -> list of consumer ports
+        for region in self.scope.regions:
+            record = trace.get(region.name)
+            if record is None:
+                raise SimulationError(
+                    f"no functional trace for region {region.name!r}"
+                )
+            state = _RegionState(
+                region, self.timing.regions.get(region.name), record
+            )
+            for node in region.dfg.inputs():
+                binding = region.input_streams[node.name]
+                segments = self._segments_for(region, node.name, binding)
+                port = _Port(
+                    f"{region.name}:{node.name}",
+                    self._port_capacity(region.name, node.name),
+                    segments,
+                )
+                state.in_ports[node.name] = (port, node.lanes)
+                for stream in as_stream_list(binding):
+                    if isinstance(stream, RecurrenceStream):
+                        recur_queues.setdefault(
+                            stream.source_port, []
+                        ).append(port)
+            for node in region.dfg.outputs():
+                binding = region.output_streams[node.name]
+                total_emitted = sum(record["emitted"][node.name])
+                segments = self._segments_for(
+                    region, node.name, binding, trace_words=total_emitted
+                )
+                port = _Port(
+                    f"{region.name}:{node.name}",
+                    self._port_capacity(region.name, node.name),
+                    segments,
+                )
+                state.out_ports[node.name] = port
+            states[region.name] = state
+
+        # Wire recurrence sinks: producer output port -> consumer input
+        # port(s), bounded by the recurrence segment lengths.
+        for state in states.values():
+            for out_name, port in state.out_ports.items():
+                sinks = []
+                for consumer_port in recur_queues.get(out_name, []):
+                    recur_words = sum(
+                        seg.words for seg in consumer_port.segments
+                        if seg.kind == "recur"
+                    )
+                    sinks.append([consumer_port, recur_words])
+                if sinks:
+                    state.recur_sinks[out_name] = sinks
+        return states
+
+    # ------------------------------------------------------------------
+    def _replay(self, states, memory):
+        cycle = 0
+        memory_busy = {m.name: 0 for m in self.adg.memories()}
+        pending_recur = []  # (arrival_cycle, consumer_port, words)
+
+        # Command pipeline: (ready_cycle, command); streams activate when
+        # the core reaches them.
+        command_schedule = []
+        clock = 0
+        barrier_regions = []
+        for command in self.program:
+            if command.kind is CommandKind.CONFIG:
+                clock += self.config_cycles
+            else:
+                clock += command.issue_cycles
+            command_schedule.append((clock, command))
+            if command.kind is CommandKind.BARRIER:
+                barrier_regions.append((clock, command.region))
+        command_index = 0
+        region_started = {name: False for name in states}
+        region_finish = {}
+
+        total_words = sum(
+            seg.words
+            for state in states.values()
+            for port, _lanes in state.in_ports.values()
+            for seg in port.segments
+        ) + 1
+        deadline = self.config_cycles + _DEADLOCK_FACTOR * (
+            total_words + sum(s.total_instances * s.ii
+                              for s in states.values()) + 64
+        )
+
+        def region_blocked_by_barrier(region_name):
+            order = [r.name for r in self.scope.regions]
+            index = order.index(region_name)
+            for barrier_name in self.scope.barriers:
+                barrier_index = order.index(barrier_name)
+                if barrier_index < index:
+                    if not states[barrier_name].done():
+                        return True
+            return False
+
+        while True:
+            # 1. Core: activate stream segments whose issue time arrived.
+            while (command_index < len(command_schedule)
+                   and command_schedule[command_index][0] <= cycle):
+                _, command = command_schedule[command_index]
+                if command.kind in (CommandKind.ISSUE_STREAM,
+                                    CommandKind.ISSUE_CONST,
+                                    CommandKind.ISSUE_RECUR):
+                    region_started[command.region] = True
+                command_index += 1
+
+            # 2. Recurrence deliveries.
+            still_pending = []
+            for arrival, port, words in pending_recur:
+                if arrival <= cycle:
+                    segment = port.active_segment()
+                    take = min(words, max(1, port.space))
+                    if segment is not None and segment.kind == "recur":
+                        moved = segment.serve(take)
+                        port.fill += moved * segment.repeat
+                        words -= moved
+                    if words > 0:
+                        still_pending.append((arrival, port, words))
+                else:
+                    still_pending.append((arrival, port, words))
+            pending_recur = still_pending
+
+            # 3. Memory engines serve active read streams and drain
+            #    output write streams.
+            self._service_memories(
+                states, region_started, region_blocked_by_barrier,
+                memory_busy, cycle,
+            )
+
+            # 4. Const segments refill freely.
+            for state in states.values():
+                if not region_started[state.region.name]:
+                    continue
+                for port, _lanes in state.in_ports.values():
+                    segment = port.active_segment()
+                    if segment is not None and segment.kind == "const":
+                        moved = segment.serve(port.space)
+                        port.fill += moved
+
+            # 5. Fabric: complete in-flight instances, then fire.
+            for state in states.values():
+                self._complete_inflight(state, cycle, pending_recur)
+            for state in states.values():
+                if not region_started[state.region.name]:
+                    continue
+                if region_blocked_by_barrier(state.region.name):
+                    continue
+                self._try_fire(state, cycle)
+
+            # 6. Termination.
+            for name, state in states.items():
+                if name not in region_finish and state.done():
+                    region_finish[name] = cycle
+            if (command_index >= len(command_schedule)
+                    and len(region_finish) == len(states)):
+                break
+            cycle += 1
+            if cycle > deadline:
+                stuck = [n for n in states if n not in region_finish]
+                raise SimulationError(
+                    f"simulation deadlock at cycle {cycle}; "
+                    f"unfinished regions: {stuck}"
+                )
+
+        result = SimResult(
+            cycles=cycle + 1,
+            memory=memory,
+            region_cycles=region_finish,
+            memory_busy=memory_busy,
+            instances={n: s.fired for n, s in states.items()},
+            config_cycles=self.config_cycles,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    def _service_memories(self, states, region_started, blocked, busy,
+                          cycle):
+        for memory_node in self.adg.memories():
+            line_budget = 1          # one line transaction per cycle
+            indirect_budget = memory_node.banks
+            scalar_ready = (cycle % SCALAR_ACCESS_CYCLES) == 0
+            served = False
+            # Round-robin across regions and ports, reads then writes.
+            for state in states.values():
+                if not region_started[state.region.name]:
+                    continue
+                if blocked(state.region.name):
+                    continue
+                for port, _lanes in state.in_ports.values():
+                    segment = port.active_segment()
+                    if (segment is None or segment.kind != "mem"
+                            or segment.memory_name != memory_node.name):
+                        continue
+                    moved = self._serve_segment(
+                        segment, port.space, line_budget,
+                        indirect_budget, scalar_ready,
+                    )
+                    if moved:
+                        port.fill += moved
+                        served = True
+                        if segment.channel == "line":
+                            line_budget -= 1
+                        elif segment.channel == "indirect":
+                            indirect_budget -= moved
+                        else:
+                            scalar_ready = False
+                for port in state.out_ports.values():
+                    segment = port.drain_segment()
+                    if (segment is None
+                            or segment.memory_name != memory_node.name):
+                        continue
+                    moved = self._serve_segment(
+                        segment, min(port.fill,
+                                     segment.filled - segment.moved),
+                        line_budget, indirect_budget, scalar_ready,
+                    )
+                    if moved:
+                        port.fill -= moved
+                        served = True
+                        if segment.channel == "line":
+                            line_budget -= 1
+                        elif segment.channel == "indirect":
+                            indirect_budget -= moved
+                        else:
+                            scalar_ready = False
+            if served:
+                busy[memory_node.name] += 1
+
+    def _serve_segment(self, segment, available_words, line_budget,
+                       indirect_budget, scalar_ready):
+        if segment.channel == "line":
+            if line_budget <= 0:
+                return 0
+            budget = min(segment.rate_words + segment._carry,
+                         available_words)
+            moved = segment.serve(budget)
+            segment._carry = max(
+                0.0, segment.rate_words + segment._carry - moved - 0.0
+            ) if moved else 0.0
+            return moved
+        if segment.channel == "indirect":
+            if indirect_budget <= 0:
+                return 0
+            return segment.serve(min(indirect_budget, available_words))
+        # scalar
+        if not scalar_ready:
+            return 0
+        return segment.serve(min(1, available_words))
+
+    # ------------------------------------------------------------------
+    def _complete_inflight(self, state, cycle, pending_recur):
+        remaining = []
+        for completion, emission in state.inflight:
+            if completion > cycle:
+                remaining.append((completion, emission))
+                continue
+            for out_name, words in emission.items():
+                port = state.out_ports[out_name]
+                recur_words, memory_words = port.assign_production(words)
+                port.fill += memory_words
+                if recur_words:
+                    # Distribute to the recurrence consumers in order.
+                    for sink in state.recur_sinks.get(out_name, ()):
+                        consumer_port, left = sink
+                        if left <= 0 or recur_words <= 0:
+                            continue
+                        take = min(recur_words, left)
+                        sink[1] -= take
+                        recur_words -= take
+                        pending_recur.append(
+                            (cycle + RECURRENCE_LATENCY, consumer_port,
+                             take)
+                        )
+        state.inflight = remaining
+
+    def _try_fire(self, state, cycle):
+        if state.all_fired or cycle < state.next_fire:
+            return
+        if state.region.join_spec is not None:
+            self._try_fire_join(state, cycle)
+            return
+        # Static/pipelined region: full vectors at every input, room at
+        # every output.
+        for port, lanes in state.in_ports.values():
+            if port.fill < lanes:
+                return
+        emission = {
+            out_name: state.emitted[out_name][state.fired]
+            for out_name in state.out_ports
+        }
+        for out_name, words in emission.items():
+            port = state.out_ports[out_name]
+            inflight_words = sum(
+                e.get(out_name, 0) for _, e in state.inflight
+            )
+            if port.fill + inflight_words + words > port.capacity:
+                return
+        for port, lanes in state.in_ports.values():
+            port.fill -= lanes
+        state.inflight.append((cycle + state.latency, emission))
+        state.fired += 1
+        state.next_fire = cycle + state.ii
+
+    def _try_fire_join(self, state, cycle):
+        """Merge-join consumption: one comparison per cycle; the next
+        instance fires after its recorded pops complete."""
+        if cycle < state.join_busy_until:
+            return
+        if state.join_cursor >= len(state.join_pops):
+            # Tail pops (unmatched remainder) happen without firing.
+            return
+        left_pops, right_pops = state.join_pops[state.join_cursor]
+        spec = state.region.join_spec
+        left_ports = [spec.left_key] + list(spec.left_payloads)
+        right_ports = [spec.right_key] + list(spec.right_payloads)
+        for name in left_ports:
+            port, _lanes = state.in_ports[name]
+            if port.fill < left_pops:
+                return
+        for name in right_ports:
+            port, _lanes = state.in_ports[name]
+            if port.fill < right_pops:
+                return
+        emission = {
+            out_name: state.emitted[out_name][state.fired]
+            for out_name in state.out_ports
+        }
+        for out_name, words in emission.items():
+            port = state.out_ports[out_name]
+            if port.fill + words > port.capacity:
+                return
+        for name in left_ports:
+            state.in_ports[name][0].fill -= left_pops
+        for name in right_ports:
+            state.in_ports[name][0].fill -= right_pops
+        comparisons = max(1, left_pops + right_pops - 1)
+        comparisons *= state.join_cycle_per_comparison
+        state.join_busy_until = cycle + comparisons
+        state.inflight.append((cycle + state.latency, emission))
+        state.fired += 1
+        state.join_cursor += 1
+        state.next_fire = cycle + max(state.ii, comparisons)
+
+
+def simulate(adg, compiled, memory, config_cycles=None):
+    """Convenience: simulate a :class:`CompiledKernel` on ``adg``."""
+    simulator = CycleSimulator(
+        adg, compiled.scope, compiled.schedule,
+        program=compiled.program, config_cycles=config_cycles,
+    )
+    return simulator.run(memory)

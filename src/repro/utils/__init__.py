@@ -1,0 +1,21 @@
+"""Small shared utilities: bit-width math, deterministic RNG, id allocation."""
+
+from repro.utils.bits import (
+    bits_for_value,
+    ceil_div,
+    ceil_log2,
+    is_power_of_two,
+    next_power_of_two,
+)
+from repro.utils.rng import DeterministicRng
+from repro.utils.ids import IdAllocator
+
+__all__ = [
+    "bits_for_value",
+    "ceil_div",
+    "ceil_log2",
+    "is_power_of_two",
+    "next_power_of_two",
+    "DeterministicRng",
+    "IdAllocator",
+]

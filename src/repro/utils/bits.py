@@ -1,0 +1,42 @@
+"""Bit-width arithmetic used throughout the hardware model.
+
+DSAGEN components only support power-of-two datapath bit widths
+(paper Section III-A), so these helpers are used by the ADG validators,
+the bitstream encoder, and the power/area model.
+"""
+
+
+def is_power_of_two(value):
+    """Return True iff ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def next_power_of_two(value):
+    """Smallest power of two >= ``value`` (value must be positive)."""
+    if value <= 0:
+        raise ValueError(f"expected a positive value, got {value}")
+    power = 1
+    while power < value:
+        power <<= 1
+    return power
+
+
+def ceil_log2(value):
+    """Ceiling of log2(value) for a positive integer."""
+    if value <= 0:
+        raise ValueError(f"expected a positive value, got {value}")
+    return (value - 1).bit_length()
+
+
+def ceil_div(numerator, denominator):
+    """Integer ceiling division."""
+    if denominator <= 0:
+        raise ValueError(f"expected a positive denominator, got {denominator}")
+    return -(-numerator // denominator)
+
+
+def bits_for_value(value):
+    """Number of bits needed to represent integers in [0, value]."""
+    if value < 0:
+        raise ValueError(f"expected a non-negative value, got {value}")
+    return max(1, value.bit_length())

@@ -1,0 +1,81 @@
+"""Deterministic random-number generation.
+
+The scheduler, DSE explorer and workload generators all draw randomness
+through :class:`DeterministicRng` so that a single seed reproduces a full
+co-design run. The class wraps :class:`random.Random` and adds the few
+weighted-choice helpers the framework needs.
+"""
+
+import random
+
+
+class DeterministicRng:
+    """A seeded RNG with helpers for stochastic search.
+
+    Parameters
+    ----------
+    seed:
+        Any hashable seed. Two instances created with the same seed produce
+        identical streams.
+    """
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        if not isinstance(seed, (type(None), int, float, str, bytes,
+                                 bytearray)):
+            seed = repr(seed)  # tuples and other structured seeds
+        self._random = random.Random(seed)
+
+    def fork(self, label):
+        """Return an independent RNG derived from this one.
+
+        Forking lets subsystems (e.g. each DSE run) use isolated streams so
+        adding draws in one subsystem does not perturb another.
+        """
+        return DeterministicRng(f"{self.seed}/{label}")
+
+    def random(self):
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def randint(self, low, high):
+        """Uniform integer in [low, high] inclusive."""
+        return self._random.randint(low, high)
+
+    def choice(self, sequence):
+        """Uniform choice from a non-empty sequence."""
+        if not sequence:
+            raise ValueError("cannot choose from an empty sequence")
+        return self._random.choice(sequence)
+
+    def sample(self, population, k):
+        """Sample ``k`` distinct items."""
+        return self._random.sample(list(population), k)
+
+    def shuffle(self, items):
+        """Shuffle a list in place and return it."""
+        self._random.shuffle(items)
+        return items
+
+    def weighted_choice(self, items, weights):
+        """Choose one item with probability proportional to its weight."""
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have equal length")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        pick = self._random.random() * total
+        cumulative = 0.0
+        for item, weight in zip(items, weights):
+            cumulative += weight
+            if pick < cumulative:
+                return item
+        return items[-1]
+
+    def gauss(self, mu, sigma):
+        """Gaussian sample."""
+        return self._random.gauss(mu, sigma)
+
+    def accept(self, probability):
+        """Bernoulli trial: True with the given probability."""
+        return self._random.random() < probability

@@ -1,0 +1,36 @@
+"""The paper's evaluation workloads (Table I + DSE sets).
+
+Each workload is a :class:`repro.compiler.kernel.Kernel` with:
+
+* a builder producing decoupled-dataflow scopes for every variant;
+* a pure-Python reference implementation (the golden model);
+* problem-size metadata (paper sizes and scaled test sizes).
+
+Domains follow Table I — MachSuite (md, crs, ellpack, mm, stencil-2d,
+stencil-3d), Sparse (histogram, join), DSP (qr, chol, fft), PolyBench
+(mm, 2mm, 3mm) — plus the DSE workload sets of Section VIII-B (DenseNN:
+conv/pool/classifier; SparseCNN: outer-product multiply +
+resparsification).
+"""
+
+from repro.workloads.spec import (
+    PAPER_SIZES,
+    WORKLOAD_DOMAINS,
+    scaled_size,
+)
+from repro.workloads.registry import (
+    all_kernels,
+    kernel,
+    kernels_in_domain,
+    workload_names,
+)
+
+__all__ = [
+    "PAPER_SIZES",
+    "WORKLOAD_DOMAINS",
+    "scaled_size",
+    "all_kernels",
+    "kernel",
+    "kernels_in_domain",
+    "workload_names",
+]

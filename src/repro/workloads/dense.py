@@ -1,0 +1,359 @@
+"""Dense linear-algebra and stencil kernels.
+
+GEMM (MachSuite ``mm`` and PolyBench ``mm``/``2mm``/``3mm``) and the two
+MachSuite stencils. GEMM uses the paper's two signature idioms at once:
+the row of ``C`` undergoes a repetitive in-place update recycled through
+the synchronization buffers (Section IV-D), and the degree of
+vectorization over ``j`` is a modular feature (Section IV-E).
+"""
+
+from repro.compiler.kernel import Kernel, VariantSpace
+from repro.compiler.transforms.inplace import inplace_update_bindings
+from repro.compiler.transforms.vectorize import reduction_tree
+from repro.ir.dfg import Dfg
+from repro.ir.region import ConfigScope, OffloadRegion
+from repro.workloads import util
+
+
+# ---------------------------------------------------------------------------
+# GEMM
+# ---------------------------------------------------------------------------
+
+def _gemm_region(name, a_name, b_name, c_name, n, params, fp=True,
+                 frequency=1.0):
+    """One C[i,j] += A[i,k] * B[k,j] region, vectorized over j.
+
+    Stream shape per outer index ``i``:
+
+    * ``a``: A[i,k] broadcast across the j-vector (stride-0 inner run);
+    * ``b``: the whole of B, row-major (one command per i);
+    * ``c``: row i read once, recycled (n-1) times on the datapath, then
+      written back (the repetitive in-place update idiom).
+    """
+    unroll = params.unroll
+    util.require_divides(unroll, n, f"{name} inner trip")
+    mul_op = "fmul" if fp else "mul"
+    add_op = "fadd" if fp else "add"
+
+    out_port = f"{name}_cout"
+    dfg = Dfg(name)
+    a = dfg.add_input("a", lanes=unroll)
+    b = dfg.add_input("b", lanes=unroll)
+    c = dfg.add_input("c", lanes=unroll)
+    updated = []
+    for lane in range(unroll):
+        product = dfg.add_instr(mul_op, [(a, lane), (b, lane)])
+        updated.append(dfg.add_instr(add_op, [(c, lane), product]))
+    dfg.add_output(out_port, updated)
+
+    # a: per (i,k), the scalar A[i,k] repeated n times (stride 0).
+    a_stream = util.read(
+        a_name, length=n, stride=0, outer_length=n * n, outer_stride=1
+    )
+    # b: per i, all of B row-major; issued as one command per i.
+    b_binding = [
+        util.read(b_name, length=n, outer_length=n, outer_stride=n)
+        for _ in range(n)
+    ]
+    c_in = []
+    c_out = []
+    for i in range(n):
+        cin, cout, _tile, _conc = inplace_update_bindings(
+            c_name, base_offset=i * n, update_words=n, outer_trips=n,
+            port_out=out_port,
+        )
+        c_in.extend(cin)
+        c_out.extend(cout)
+
+    region = OffloadRegion(
+        name,
+        dfg,
+        input_streams={"a": a_stream, "b": b_binding, "c": c_in},
+        output_streams={out_port: c_out},
+        vector_width=unroll,
+        frequency=frequency,
+        source_insts=8,  # mul+add+2 loads+store+loop overhead per element
+        metadata={
+            "recurrence_concurrency": n // unroll,
+            "array_memory": {b_name: "spad"},
+        },
+    )
+    return region
+
+
+def gemm_reference(a, b, c, n):
+    """c += a @ b for row-major flat lists."""
+    for i in range(n):
+        for k in range(n):
+            scale = a[i * n + k]
+            row = k * n
+            out = i * n
+            for j in range(n):
+                c[out + j] += scale * b[row + j]
+
+
+def make_gemm_kernel(name, n, fp=True, chained=1):
+    """``chained=1`` -> mm; 2 -> 2mm (E = (A*B)*C); 3 -> 3mm."""
+
+    def builder(params):
+        scope = ConfigScope(name)
+        # Chain: M0 = A*B; M1 = M0*C; M2 = M1*D ...
+        for stage in range(chained):
+            a_name = "A" if stage == 0 else f"M{stage - 1}"
+            region = _gemm_region(
+                f"{name}_s{stage}", a_name, f"B{stage}", f"M{stage}",
+                n, params, fp=fp,
+            )
+            scope.add(region)
+            if stage + 1 < chained:
+                # The next stage reads M{stage}: fence between them.
+                scope.barriers.append(region.name)
+        return scope
+
+    def make_memory():
+        data = util.fp_data if fp else util.int_data
+        memory = {"A": data(n * n, f"{name}A")}
+        for stage in range(chained):
+            memory[f"B{stage}"] = data(n * n, f"{name}B{stage}")
+            memory[f"M{stage}"] = (
+                util.fzeros(n * n) if fp else util.zeros(n * n)
+            )
+        return memory
+
+    def reference(memory):
+        size = n
+        current = memory["A"]
+        for stage in range(chained):
+            out = memory[f"M{stage}"]
+            gemm_reference(current, memory[f"B{stage}"], out, size)
+            current = out
+
+    return Kernel(
+        name=name,
+        builder=builder,
+        space=VariantSpace(unroll_factors=(1, 2, 4, 8)),
+        reference=reference,
+        make_memory=make_memory,
+        domain="dense",
+        source_insts_per_instance=8,
+        description=f"{chained}-stage dense GEMM, n={n}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stencils
+# ---------------------------------------------------------------------------
+
+def _stencil2d_region(name, rows, cols, params, in_name="IN", out_name="OUT",
+                      weight_name="W"):
+    """9-point 2D stencil vectorized over the column dimension.
+
+    Nine shifted read streams (one port per tap) feed a multiply tree;
+    boundary cells are not written (interior only), matching MachSuite.
+    """
+    unroll = params.unroll
+    interior_cols = cols - 2
+    util.require_divides(unroll, interior_cols, f"{name} row width")
+
+    dfg = Dfg(name)
+    taps = []
+    for di in range(3):
+        for dj in range(3):
+            taps.append(dfg.add_input(f"t{di}{dj}", lanes=unroll))
+    weights = [dfg.add_const(0.0, name=f"w{k}") for k in range(9)]
+    out_lanes = []
+    for lane in range(unroll):
+        terms = [
+            dfg.add_instr("fmul", [(taps[k], lane), weights[k]])
+            for k in range(9)
+        ]
+        out_lanes.append(reduction_tree(dfg, "fadd", terms))
+    dfg.add_output("o", out_lanes)
+
+    input_streams = {}
+    for di in range(3):
+        for dj in range(3):
+            input_streams[f"t{di}{dj}"] = util.read(
+                in_name,
+                offset=di * cols + dj,
+                length=interior_cols,
+                outer_length=rows - 2,
+                outer_stride=cols,
+            )
+    output_streams = {
+        "o": util.write(
+            out_name,
+            offset=cols + 1,
+            length=interior_cols,
+            outer_length=rows - 2,
+            outer_stride=cols,
+        )
+    }
+    return OffloadRegion(
+        name,
+        dfg,
+        input_streams=input_streams,
+        output_streams=output_streams,
+        vector_width=unroll,
+        source_insts=9 * 2 + 10,
+        metadata={
+            "const_bindings": {
+                f"w{k}": (weight_name, k) for k in range(9)
+            },
+        },
+    )
+
+
+def stencil2d_reference(memory, rows, cols):
+    src, dst, w = memory["IN"], memory["OUT"], memory["W"]
+    for i in range(1, rows - 1):
+        for j in range(1, cols - 1):
+            total = 0.0
+            for di in range(3):
+                for dj in range(3):
+                    total += (
+                        w[di * 3 + dj]
+                        * src[(i + di - 1) * cols + (j + dj - 1)]
+                    )
+            dst[i * cols + j] = total
+
+
+def make_stencil2d_kernel(name="stencil2d", rows=130, cols=130):
+    def builder(params):
+        scope = ConfigScope(name)
+        region = _stencil2d_region(name, rows, cols, params)
+        # Weight constants are bound at configuration time; record them
+        # so the functional checker can inject the actual values.
+        scope.add(region)
+        return scope
+
+    def make_memory():
+        return {
+            "IN": util.fp_data(rows * cols, f"{name}in"),
+            "OUT": util.fzeros(rows * cols),
+            "W": util.fp_data(9, f"{name}w"),
+        }
+
+    return Kernel(
+        name=name,
+        builder=builder,
+        space=VariantSpace(unroll_factors=(1, 2, 4)),
+        reference=lambda memory: stencil2d_reference(memory, rows, cols),
+        make_memory=make_memory,
+        domain="dense",
+        source_insts_per_instance=28,
+        description="9-point 2D stencil",
+    )
+
+
+def _stencil3d_region(name, d0, d1, d2, params):
+    """7-point 3D stencil: center plus the six face neighbors.
+
+    The two outer dimensions are flattened into per-plane stream
+    sequences (one command per i-plane), keeping the inner 2D pattern
+    affine.
+    """
+    unroll = params.unroll
+    interior = d2 - 2
+    util.require_divides(unroll, interior, f"{name} inner width")
+
+    offsets = {
+        "c": 0,
+        "xm": -d1 * d2, "xp": d1 * d2,
+        "ym": -d2, "yp": d2,
+        "zm": -1, "zp": 1,
+    }
+    dfg = Dfg(name)
+    taps = {key: dfg.add_input(key, lanes=unroll) for key in offsets}
+    w_center = dfg.add_const(0.0, name="w0")
+    w_face = dfg.add_const(0.0, name="w1")
+    lanes_out = []
+    for lane in range(unroll):
+        center = dfg.add_instr("fmul", [(taps["c"], lane), w_center])
+        face_terms = [
+            dfg.add_instr("fmul", [(taps[key], lane), w_face])
+            for key in ("xm", "xp", "ym", "yp", "zm", "zp")
+        ]
+        total = reduction_tree(dfg, "fadd", [center] + face_terms)
+        lanes_out.append(total)
+    dfg.add_output("o", lanes_out)
+
+    def plane_stream(array, base_offset, plane):
+        return util.read(
+            array,
+            offset=plane * d1 * d2 + d2 + 1 + base_offset,
+            length=interior,
+            outer_length=d1 - 2,
+            outer_stride=d2,
+        )
+
+    input_streams = {
+        key: [plane_stream("IN", delta, plane)
+              for plane in range(1, d0 - 1)]
+        for key, delta in offsets.items()
+    }
+    output_streams = {
+        "o": [
+            util.write(
+                "OUT",
+                offset=plane * d1 * d2 + d2 + 1,
+                length=interior,
+                outer_length=d1 - 2,
+                outer_stride=d2,
+            )
+            for plane in range(1, d0 - 1)
+        ]
+    }
+    return OffloadRegion(
+        name,
+        dfg,
+        input_streams=input_streams,
+        output_streams=output_streams,
+        vector_width=unroll,
+        source_insts=7 * 2 + 10,
+        metadata={
+            "const_bindings": {"w0": ("W", 0), "w1": ("W", 1)},
+        },
+    )
+
+
+def stencil3d_reference(memory, d0, d1, d2):
+    src, dst, w = memory["IN"], memory["OUT"], memory["W"]
+
+    def at(x, y, z):
+        return src[x * d1 * d2 + y * d2 + z]
+
+    for x in range(1, d0 - 1):
+        for y in range(1, d1 - 1):
+            for z in range(1, d2 - 1):
+                total = w[0] * at(x, y, z) + w[1] * (
+                    at(x - 1, y, z) + at(x + 1, y, z)
+                    + at(x, y - 1, z) + at(x, y + 1, z)
+                    + at(x, y, z - 1) + at(x, y, z + 1)
+                )
+                dst[x * d1 * d2 + y * d2 + z] = total
+
+
+def make_stencil3d_kernel(name="stencil3d", d0=32, d1=32, d2=16):
+    def builder(params):
+        scope = ConfigScope(name)
+        scope.add(_stencil3d_region(name, d0, d1, d2, params))
+        return scope
+
+    def make_memory():
+        return {
+            "IN": util.fp_data(d0 * d1 * d2, f"{name}in"),
+            "OUT": util.fzeros(d0 * d1 * d2),
+            "W": util.fp_data(2, f"{name}w"),
+        }
+
+    return Kernel(
+        name=name,
+        builder=builder,
+        space=VariantSpace(unroll_factors=(1, 2)),
+        reference=lambda memory: stencil3d_reference(memory, d0, d1, d2),
+        make_memory=make_memory,
+        domain="dense",
+        source_insts_per_instance=24,
+        description="7-point 3D stencil",
+    )

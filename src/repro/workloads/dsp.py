@@ -1,0 +1,413 @@
+"""DSP workloads (REVEL's inductive matrix algorithms): qr, chol, fft.
+
+qr and chol pair a *low-rate* scalar region (reciprocals / square roots,
+executed once per factorization step) with a *high-rate* triangular
+update region, connected by producer-consumer forwarding — the pattern
+that benefits from shared (temporal) PEs in Figure 12. chol's streams are
+*inductive* (row length grows by one per outer step), exercising the
+REVEL-style linear controller. fft is the iterative radix-2 kernel whose
+small-stride late stages are bandwidth-limited (the Figure 10 outlier).
+"""
+
+import math
+
+from repro.compiler.kernel import Kernel, VariantSpace
+from repro.errors import CompilationError
+from repro.ir.dfg import Dfg
+from repro.ir.region import ConfigScope, OffloadRegion
+from repro.ir.stream import RecurrenceStream, StreamDirection
+from repro.workloads import util
+
+
+# ---------------------------------------------------------------------------
+# chol — one right-looking Cholesky step (triangular rank-1 update)
+# ---------------------------------------------------------------------------
+
+def make_chol_kernel(name="chol", n=32):
+    """T'[i,j] = T[i,j] - C[i] * C[j] / A_kk over the packed lower
+    triangle (j <= i), with 1/A_kk computed in a low-rate region and
+    forwarded. ``frequency=n`` models the n factorization steps."""
+    m = n - 1
+    triangle = m * (m + 1) // 2
+
+    def builder(params):
+        if params.unroll != 1:
+            raise CompilationError("inductive rows do not vectorize")
+        low = Dfg(f"{name}_d")
+        akk = low.add_input("akk")
+        one = low.add_const(1.0, name="one")
+        half = low.add_const(0.5, name="half")
+        inv = low.add_instr("fdiv", [one, akk])
+        root = low.add_instr("fsqrt", [akk])
+        scaled = low.add_instr("fmul", [inv, root])
+        t2 = low.add_instr("fmul", [root, half])
+        t3 = low.add_instr("fadd", [t2, inv])
+        t4 = low.add_instr("fmul", [t3, scaled])
+        t5 = low.add_instr("fadd", [t4, root])
+        low.add_output("s_out", inv)
+        low.add_output("alpha_out", [root, t5])
+        low_region = OffloadRegion(
+            f"{name}_d",
+            low,
+            input_streams={"akk": util.read("AKK", 1)},
+            output_streams={
+                "s_out": RecurrenceStream(
+                    array="", source_port="s_out", length=1,
+                    direction=StreamDirection.WRITE,
+                ),
+                "alpha_out": util.write("ALPHA", 2),
+            },
+            frequency=float(n),
+            source_insts=6,
+        )
+
+        high = Dfg(f"{name}_u")
+        ci = high.add_input("ci")
+        cj = high.add_input("cj")
+        t = high.add_input("t")
+        s = high.add_input("s")
+        outer = high.add_instr("fmul", [ci, cj])
+        scaled = high.add_instr("fmul", [outer, s])
+        updated = high.add_instr("fsub", [t, scaled])
+        high.add_output("t_out", updated)
+        high_region = OffloadRegion(
+            f"{name}_u",
+            high,
+            input_streams={
+                # Row i repeats C[i] (i+1) times: inductive stride-0 runs.
+                "ci": util.read(
+                    "C", length=1, stride=0, outer_length=m,
+                    outer_stride=1, length_stretch=1,
+                ),
+                # Row i scans C[0..i]: inductive stride-1 runs.
+                "cj": util.read(
+                    "C", length=1, stride=1, outer_length=m,
+                    outer_stride=0, length_stretch=1,
+                ),
+                "t": util.read("T", triangle),
+                "s": RecurrenceStream(
+                    array="", source_port="s_out", length=triangle,
+                    repeat=triangle,
+                ),
+            },
+            output_streams={"t_out": util.write("T", triangle)},
+            frequency=float(n),
+            source_insts=8,
+        )
+        scope = ConfigScope(name, regions=[low_region, high_region])
+        scope.forwards.append((f"{name}_d", "s_out", f"{name}_u", "s"))
+        return scope
+
+    def make_memory():
+        return {
+            "AKK": util.positive_fp_data(1, f"{name}akk"),
+            "ALPHA": util.fzeros(2),
+            "C": util.fp_data(m, f"{name}c"),
+            "T": util.fp_data(triangle, f"{name}t"),
+        }
+
+    def reference(memory):
+        akk = memory["AKK"][0]
+        inv = 1.0 / akk
+        root = math.sqrt(akk)
+        scaled = inv * root
+        memory["ALPHA"][0] = root
+        memory["ALPHA"][1] = (root * 0.5 + inv) * scaled + root
+        c, t = memory["C"], memory["T"]
+        cursor = 0
+        for i in range(m):
+            for j in range(i + 1):
+                t[cursor] = t[cursor] - (c[i] * c[j]) * inv
+                cursor += 1
+
+    return Kernel(
+        name=name,
+        builder=builder,
+        space=VariantSpace(unroll_factors=(1,)),
+        reference=reference,
+        make_memory=make_memory,
+        domain="dsp",
+        source_insts_per_instance=8,
+        description="Cholesky step: inductive triangular rank-1 update",
+    )
+
+
+# ---------------------------------------------------------------------------
+# qr — one Householder-style step (rank-1 update with scalar prologue)
+# ---------------------------------------------------------------------------
+
+def make_qr_kernel(name="qr", n=32):
+    """A'[i,j] = A[i,j] - V[i] * W[j] * s, with the scalar prologue
+    (s = 2 / vn, alpha = sqrt(vn), plus normalization terms) in a
+    low-rate region — six outer-loop instructions whose placement is what
+    shared PEs are for."""
+
+    def builder(params):
+        unroll = params.unroll
+        util.require_divides(unroll, n, "qr row width")
+
+        low = Dfg(f"{name}_d")
+        vn = low.add_input("vn")
+        two = low.add_const(2.0, name="two")
+        half = low.add_const(0.5, name="half")
+        s = low.add_instr("fdiv", [two, vn])
+        alpha = low.add_instr("fsqrt", [vn])
+        beta = low.add_instr("fmul", [alpha, half])
+        gamma = low.add_instr("fadd", [beta, vn])
+        delta = low.add_instr("fmul", [gamma, s])
+        eps = low.add_instr("fmul", [alpha, s])
+        zeta = low.add_instr("fadd", [delta, eps])
+        eta = low.add_instr("fmul", [zeta, half])
+        theta = low.add_instr("fadd", [eta, gamma])
+        iota = low.add_instr("fmul", [theta, s])
+        kappa = low.add_instr("fadd", [iota, alpha])
+        low.add_output("s_out", s)
+        low.add_output("aux_out", [alpha, kappa])
+        low_region = OffloadRegion(
+            f"{name}_d",
+            low,
+            input_streams={"vn": util.read("VN", 1)},
+            output_streams={
+                "s_out": RecurrenceStream(
+                    array="", source_port="s_out", length=1,
+                    direction=StreamDirection.WRITE,
+                ),
+                "aux_out": util.write("AUX", 2),
+            },
+            frequency=float(n),
+            source_insts=8,
+        )
+
+        high = Dfg(f"{name}_u")
+        v = high.add_input("v", lanes=unroll)
+        w = high.add_input("w", lanes=unroll)
+        a = high.add_input("a", lanes=unroll)
+        s_in = high.add_input("s")
+        lanes_out = []
+        for lane in range(unroll):
+            outer = high.add_instr("fmul", [(v, lane), (w, lane)])
+            scaled = high.add_instr("fmul", [outer, s_in])
+            lanes_out.append(high.add_instr("fsub", [(a, lane), scaled]))
+        high.add_output("a_out", lanes_out)
+        total = n * n
+        high_region = OffloadRegion(
+            f"{name}_u",
+            high,
+            input_streams={
+                "v": util.read("V", length=n, stride=0, outer_length=n,
+                               outer_stride=1),
+                "w": util.read("W", length=n, outer_length=n),
+                "a": util.read("A", length=n, outer_length=n,
+                               outer_stride=n),
+                "s": RecurrenceStream(
+                    array="", source_port="s_out",
+                    length=total // unroll, repeat=total // unroll,
+                ),
+            },
+            output_streams={
+                "a_out": util.write("A", length=n, outer_length=n,
+                                    outer_stride=n),
+            },
+            vector_width=unroll,
+            frequency=float(n),
+            source_insts=8,
+            metadata={"array_memory": {"V": "spad", "W": "spad"}},
+        )
+        scope = ConfigScope(name, regions=[low_region, high_region])
+        scope.forwards.append((f"{name}_d", "s_out", f"{name}_u", "s"))
+        return scope
+
+    def make_memory():
+        return {
+            "VN": util.positive_fp_data(1, f"{name}vn"),
+            "AUX": util.fzeros(2),
+            "V": util.fp_data(n, f"{name}v"),
+            "W": util.fp_data(n, f"{name}w"),
+            "A": util.fp_data(n * n, f"{name}a"),
+        }
+
+    def reference(memory):
+        vn = memory["VN"][0]
+        s = 2.0 / vn
+        alpha = math.sqrt(vn)
+        gamma = alpha * 0.5 + vn
+        delta = gamma * s
+        zeta = delta + alpha * s
+        iota = (zeta * 0.5 + gamma) * s
+        memory["AUX"][0] = alpha
+        memory["AUX"][1] = iota + alpha
+        v, w, a = memory["V"], memory["W"], memory["A"]
+        for i in range(n):
+            for j in range(n):
+                a[i * n + j] -= v[i] * w[j] * s
+
+    return Kernel(
+        name=name,
+        builder=builder,
+        space=VariantSpace(unroll_factors=(1, 2, 4, 8)),
+        reference=reference,
+        make_memory=make_memory,
+        domain="dsp",
+        source_insts_per_instance=8,
+        description="Householder step: rank-1 update + scalar prologue",
+    )
+
+
+# ---------------------------------------------------------------------------
+# fft — iterative radix-2, in-place over bit-reversed input
+# ---------------------------------------------------------------------------
+
+def fft_stage_layout(n):
+    """Per-stage twiddle-array offsets: stage s holds 2^s twiddles."""
+    offsets = []
+    cursor = 0
+    for stage in range(int(math.log2(n))):
+        offsets.append(cursor)
+        cursor += 1 << stage
+    return offsets, cursor
+
+
+def make_fft_kernel(name="fft", n=1024, manual_coalesce=False):
+    """Radix-2 DIT butterflies, one region whose stream sequence walks the
+    log2(n) stages in place. Early stages have unit-length runs whose
+    per-word requests underutilize bandwidth — the manual version
+    coalesces them (``manual_coalesce``), reproducing the Figure 10
+    outlier mechanism."""
+    stages = int(math.log2(n))
+    if 1 << stages != n:
+        raise ValueError("fft size must be a power of two")
+
+    def builder(params):
+        if params.unroll != 1:
+            raise CompilationError(
+                "butterfly pairs are strided; vectorize via more ports"
+            )
+        dfg = Dfg(name)
+        ar = dfg.add_input("ar")
+        ai = dfg.add_input("ai")
+        br = dfg.add_input("br")
+        bi = dfg.add_input("bi")
+        wr = dfg.add_input("wr")
+        wi = dfg.add_input("wi")
+        t1 = dfg.add_instr("fmul", [br, wr])
+        t2 = dfg.add_instr("fmul", [bi, wi])
+        t3 = dfg.add_instr("fmul", [br, wi])
+        t4 = dfg.add_instr("fmul", [bi, wr])
+        tr = dfg.add_instr("fsub", [t1, t2])
+        ti = dfg.add_instr("fadd", [t3, t4])
+        dfg.add_output("ar_o", dfg.add_instr("fadd", [ar, tr]))
+        dfg.add_output("ai_o", dfg.add_instr("fadd", [ai, ti]))
+        dfg.add_output("br_o", dfg.add_instr("fsub", [ar, tr]))
+        dfg.add_output("bi_o", dfg.add_instr("fsub", [ai, ti]))
+
+        twiddle_offsets, _ = fft_stage_layout(n)
+
+        def data_streams(array, half_offset, writing):
+            streams = []
+            for stage in range(stages):
+                half = 1 << stage
+                groups = n // (half * 2)
+                make = util.write if writing else util.read
+                stream = make(
+                    array,
+                    offset=half * half_offset,
+                    length=half,
+                    outer_length=groups,
+                    outer_stride=half * 2,
+                )
+                if manual_coalesce:
+                    stream.coalesced = True
+                streams.append(stream)
+            return streams
+
+        def twiddle_streams(array):
+            streams = []
+            for stage in range(stages):
+                half = 1 << stage
+                groups = n // (half * 2)
+                stream = util.read(
+                    array,
+                    offset=twiddle_offsets[stage],
+                    length=half,
+                    outer_length=groups,
+                    outer_stride=0,
+                )
+                if manual_coalesce:
+                    stream.coalesced = True
+                streams.append(stream)
+            return streams
+
+        region = OffloadRegion(
+            name,
+            dfg,
+            input_streams={
+                "ar": data_streams("XR", 0, writing=False),
+                "ai": data_streams("XI", 0, writing=False),
+                "br": data_streams("XR", 1, writing=False),
+                "bi": data_streams("XI", 1, writing=False),
+                "wr": twiddle_streams("WR"),
+                "wi": twiddle_streams("WI"),
+            },
+            output_streams={
+                "ar_o": data_streams("XR", 0, writing=True),
+                "ai_o": data_streams("XI", 0, writing=True),
+                "br_o": data_streams("XR", 1, writing=True),
+                "bi_o": data_streams("XI", 1, writing=True),
+            },
+            source_insts=20,
+            metadata={"array_memory": {
+                "XR": "spad", "XI": "spad", "WR": "spad", "WI": "spad",
+            }},
+        )
+        scope = ConfigScope(name)
+        scope.add(region)
+        return scope
+
+    def make_memory():
+        _, twiddle_words = fft_stage_layout(n)
+        wr, wi = [], []
+        for stage in range(stages):
+            half = 1 << stage
+            span = half * 2
+            for j in range(half):
+                angle = -2.0 * math.pi * j / span
+                wr.append(math.cos(angle))
+                wi.append(math.sin(angle))
+        assert len(wr) == twiddle_words
+        return {
+            "XR": util.fp_data(n, f"{name}xr"),
+            "XI": util.fp_data(n, f"{name}xi"),
+            "WR": wr,
+            "WI": wi,
+        }
+
+    def reference(memory):
+        xr, xi = memory["XR"], memory["XI"]
+        wr, wi = memory["WR"], memory["WI"]
+        offsets, _ = fft_stage_layout(n)
+        for stage in range(stages):
+            half = 1 << stage
+            span = half * 2
+            for group in range(n // span):
+                base = group * span
+                for j in range(half):
+                    a, b = base + j, base + j + half
+                    twr = wr[offsets[stage] + j]
+                    twi = wi[offsets[stage] + j]
+                    tr = xr[b] * twr - xi[b] * twi
+                    ti = xr[b] * twi + xi[b] * twr
+                    xr[b] = xr[a] - tr
+                    xi[b] = xi[a] - ti
+                    xr[a] = xr[a] + tr
+                    xi[a] = xi[a] + ti
+
+    return Kernel(
+        name=name,
+        builder=builder,
+        space=VariantSpace(unroll_factors=(1,)),
+        reference=reference,
+        make_memory=make_memory,
+        domain="dsp",
+        source_insts_per_instance=20,
+        description=f"radix-2 in-place FFT, n={n}",
+    )

@@ -1,0 +1,529 @@
+"""Irregular-memory workloads: md, crs, ellpack, histogram, join, and the
+sparse-CNN pair (outer-product multiply + resparsification).
+
+These exercise the indirect memory controller, in-bank atomic update,
+and the stream-join transform — the three hardware-conditional idioms of
+Section IV-E — each with its guaranteed fallback.
+"""
+
+from repro.compiler.kernel import Kernel, VariantSpace
+from repro.compiler.transforms.indirect import (
+    gather_stream,
+    index_stream,
+    update_stream,
+)
+from repro.compiler.transforms.stream_join import (
+    estimate_join_instances,
+    make_join_region,
+)
+from repro.compiler.transforms.vectorize import reduction_tree
+from repro.ir.dfg import Dfg
+from repro.ir.region import ConfigScope, OffloadRegion
+from repro.ir.stream import StreamDirection, UpdateStream
+from repro.workloads import util
+
+
+# ---------------------------------------------------------------------------
+# md — molecular dynamics k-nearest-neighbors force kernel (MachSuite)
+# ---------------------------------------------------------------------------
+
+def make_md_kernel(name="md", atoms=128, neighbors=16):
+    """1-D Lennard-Jones-style forces over a fixed neighbor list.
+
+    ``F[i] = sum_j dx * (c1 - c2 * dx^2)`` with
+    ``dx = P[i] - P[NL[i * neighbors + j]]`` — the neighbor gather is the
+    indirect idiom.
+    """
+
+    def builder(params):
+        unroll = params.unroll
+        util.require_divides(unroll, neighbors, "md neighbor count")
+        per_atom = neighbors // unroll
+
+        dfg = Dfg(name)
+        pi = dfg.add_input("pi", lanes=unroll)
+        pj = dfg.add_input("pj", lanes=unroll)
+        c1 = dfg.add_const(0.0, name="c1")
+        c2 = dfg.add_const(0.0, name="c2")
+        forces = []
+        for lane in range(unroll):
+            dx = dfg.add_instr("fsub", [(pi, lane), (pj, lane)])
+            r2 = dfg.add_instr("fmul", [dx, dx])
+            scaled = dfg.add_instr("fmul", [c2, r2])
+            coeff = dfg.add_instr("fsub", [c1, scaled])
+            forces.append(dfg.add_instr("fmul", [dx, coeff]))
+        total = reduction_tree(dfg, "fadd", forces)
+        acc = dfg.add_instr(
+            "fadd", [total], reduction=True, emit_every=per_atom
+        )
+        dfg.add_output("f", acc)
+
+        region = OffloadRegion(
+            name,
+            dfg,
+            input_streams={
+                "pi": util.read(
+                    "P", length=neighbors, stride=0,
+                    outer_length=atoms, outer_stride=1,
+                ),
+                "pj": gather_stream(
+                    "P",
+                    index=index_stream("NL", length=atoms * neighbors),
+                    use_indirect=params.use_indirect,
+                ),
+            },
+            output_streams={"f": util.write("F", atoms)},
+            vector_width=unroll,
+            source_insts=5 + 4,
+            metadata={
+                "const_bindings": {"c1": ("C", 0), "c2": ("C", 1)},
+                "array_memory": {"P": "spad", "NL": "spad"},
+            },
+        )
+        scope = ConfigScope(name)
+        scope.add(region)
+        return scope
+
+    def make_memory():
+        from repro.utils.rng import DeterministicRng
+
+        picker = DeterministicRng(f"{name}-nl")
+        neighbor_list = [
+            picker.randint(0, atoms - 1) for _ in range(atoms * neighbors)
+        ]
+        return {
+            "P": util.fp_data(atoms, f"{name}p"),
+            "NL": neighbor_list,
+            "C": [3.0, 2.0],
+            "F": util.fzeros(atoms),
+        }
+
+    def reference(memory):
+        positions, nl, coeffs = memory["P"], memory["NL"], memory["C"]
+        c1, c2 = coeffs[0], coeffs[1]
+        for i in range(atoms):
+            force = 0.0
+            for j in range(neighbors):
+                dx = positions[i] - positions[nl[i * neighbors + j]]
+                force += dx * (c1 - c2 * dx * dx)
+            memory["F"][i] = force
+
+    return Kernel(
+        name=name,
+        builder=builder,
+        space=VariantSpace(unroll_factors=(1, 2, 4), has_indirect=True),
+        reference=reference,
+        make_memory=make_memory,
+        domain="irregular",
+        source_insts_per_instance=9,
+        description="molecular-dynamics kNN forces",
+    )
+
+
+# ---------------------------------------------------------------------------
+# crs / ellpack — sparse matrix-vector multiply (MachSuite)
+# ---------------------------------------------------------------------------
+
+def _spmv_region(name, rows, width, row_offset, val_offset, params):
+    """y[r] = sum_k VAL[r,k] * X[COL[r,k]] for a block of uniform-width
+    rows (CRS splits into blocks; ELLPACK is one block)."""
+    unroll = params.unroll
+    util.require_divides(unroll, width, f"{name} row width")
+
+    dfg = Dfg(name)
+    val = dfg.add_input("val", lanes=unroll)
+    xgather = dfg.add_input("xg", lanes=unroll)
+    products = [
+        dfg.add_instr("fmul", [(val, lane), (xgather, lane)])
+        for lane in range(unroll)
+    ]
+    total = reduction_tree(dfg, "fadd", products)
+    acc = dfg.add_instr(
+        "fadd", [total], reduction=True, emit_every=width // unroll
+    )
+    dfg.add_output("y", acc)
+
+    return OffloadRegion(
+        name,
+        dfg,
+        input_streams={
+            "val": util.read(
+                "VAL", offset=val_offset, length=width,
+                outer_length=rows, outer_stride=width,
+            ),
+            "xg": gather_stream(
+                "X",
+                index=index_stream(
+                    "COL", offset=val_offset, length=rows * width
+                ),
+                use_indirect=params.use_indirect,
+            ),
+        },
+        output_streams={
+            "y": util.write("Y", rows, offset=row_offset),
+        },
+        vector_width=unroll,
+        source_insts=6,
+        metadata={"array_memory": {"X": "spad"}},
+    )
+
+
+def _make_spmv_kernel(name, rows, widths):
+    """``widths`` is the per-block row width list; CRS uses two blocks
+    (irregular row lengths), ELLPACK one."""
+    blocks = len(widths)
+    rows_per_block = rows // blocks
+
+    def builder(params):
+        scope = ConfigScope(name)
+        val_offset = 0
+        for index, width in enumerate(widths):
+            scope.add(_spmv_region(
+                f"{name}_b{index}", rows_per_block, width,
+                row_offset=index * rows_per_block,
+                val_offset=val_offset,
+                params=params,
+            ))
+            val_offset += rows_per_block * width
+        return scope
+
+    def make_memory():
+        from repro.utils.rng import DeterministicRng
+
+        nnz = rows_per_block * sum(widths)
+        cols = max(8, rows)
+        picker = DeterministicRng(f"{name}-col")
+        return {
+            "VAL": util.fp_data(nnz, f"{name}v"),
+            "COL": [picker.randint(0, cols - 1) for _ in range(nnz)],
+            "X": util.fp_data(cols, f"{name}x"),
+            "Y": util.fzeros(rows),
+        }
+
+    def reference(memory):
+        val, col, x, y = (
+            memory["VAL"], memory["COL"], memory["X"], memory["Y"]
+        )
+        cursor = 0
+        row = 0
+        for width in widths:
+            for _ in range(rows_per_block):
+                total = 0.0
+                for _ in range(width):
+                    total += val[cursor] * x[col[cursor]]
+                    cursor += 1
+                y[row] = total
+                row += 1
+
+    unrolls = tuple(
+        u for u in (1, 2, 4) if all(w % u == 0 for w in widths)
+    )
+    return Kernel(
+        name=name,
+        builder=builder,
+        space=VariantSpace(unroll_factors=unrolls, has_indirect=True),
+        reference=reference,
+        make_memory=make_memory,
+        domain="irregular",
+        source_insts_per_instance=7,
+        description=f"SpMV, row widths {widths}",
+    )
+
+
+def make_crs_kernel(name="crs", rows=464, nnz_per_row=4):
+    """CRS: irregular row lengths, modeled as two blocks averaging to the
+    Table I nnz/row."""
+    wide = nnz_per_row + 2
+    narrow = max(2, nnz_per_row - 2)
+    return _make_spmv_kernel(name, rows, (wide, narrow))
+
+
+def make_ellpack_kernel(name="ellpack", rows=464, nnz_per_row=4):
+    """ELLPACK: uniform padded rows (vectorizes cleanly)."""
+    return _make_spmv_kernel(name, rows, (nnz_per_row,))
+
+
+# ---------------------------------------------------------------------------
+# histogram — SPU microbenchmark
+# ---------------------------------------------------------------------------
+
+def make_histogram_kernel(name="histogram", bins=1024, items=4096):
+    """H[KEY[i]] += W[i]; the canonical atomic-update workload."""
+
+    def builder(params):
+        unroll = params.unroll
+        util.require_divides(unroll, items, "histogram items")
+        dfg = Dfg(name)
+        w = dfg.add_input("w", lanes=unroll)
+        copies = [
+            dfg.add_instr("copy", [(w, lane)]) for lane in range(unroll)
+        ]
+        dfg.add_output("upd", copies)  # one value per lane to the updater
+        region = OffloadRegion(
+            name,
+            dfg,
+            input_streams={"w": util.read("W", items)},
+            output_streams={
+                "upd": update_stream(
+                    "H",
+                    index=index_stream("KEY", length=items),
+                    op="add",
+                    use_atomic=params.use_atomic,
+                ),
+            },
+            vector_width=unroll,
+            source_insts=4,
+            metadata={"array_memory": {"H": "spad"}},
+        )
+        scope = ConfigScope(name)
+        scope.add(region)
+        return scope
+
+    def make_memory():
+        from repro.utils.rng import DeterministicRng
+
+        picker = DeterministicRng(f"{name}-keys")
+        return {
+            "KEY": [picker.randint(0, bins - 1) for _ in range(items)],
+            "W": util.int_data(items, f"{name}w", low=1, high=4),
+            "H": util.zeros(bins),
+        }
+
+    def reference(memory):
+        for key, weight in zip(memory["KEY"], memory["W"]):
+            memory["H"][key] += weight
+
+    return Kernel(
+        name=name,
+        builder=builder,
+        space=VariantSpace(
+            unroll_factors=(1, 2, 4),
+            has_indirect=True,
+            has_atomic=True,
+        ),
+        reference=reference,
+        make_memory=make_memory,
+        domain="irregular",
+        source_insts_per_instance=5,
+        description="histogramming with atomic updates",
+    )
+
+
+# ---------------------------------------------------------------------------
+# join — SPU microbenchmark (sorted intersection with payload product)
+# ---------------------------------------------------------------------------
+
+def make_join_kernel(name="join", left=768, right=768):
+    """Sorted-key intersection accumulating the payload products — the
+    paper's Figure 8 kernel."""
+
+    def builder(params):
+        dfg = Dfg(name)
+        dfg.add_input("k0")
+        dfg.add_input("k1")
+        v0 = dfg.add_input("v0")
+        v1 = dfg.add_input("v1")
+        product = dfg.add_instr("mul", [v0, v1])
+        acc = dfg.add_instr("acc", [product], reduction=True)
+        dfg.add_output("out", acc)
+
+        region = make_join_region(
+            name,
+            dfg,
+            input_streams={
+                "k0": util.read("K0", left),
+                "v0": util.read("V0", left),
+                "k1": util.read("K1", right),
+                "v1": util.read("V1", right),
+            },
+            output_streams={"out": util.write("OUT", 1)},
+            left_key="k0", right_key="k1",
+            left_payloads=("v0",), right_payloads=("v1",),
+            use_join=params.use_join,
+            expected_instances=estimate_join_instances(left, right),
+            metadata={"array_memory": {"K0": "spad", "K1": "spad"}},
+        )
+        region.source_insts = 8
+        scope = ConfigScope(name)
+        scope.add(region)
+        return scope
+
+    def make_memory():
+        return {
+            "K0": util.sorted_unique_keys(left, f"{name}k0"),
+            "V0": util.int_data(left, f"{name}v0"),
+            "K1": util.sorted_unique_keys(right, f"{name}k1"),
+            "V1": util.int_data(right, f"{name}v1"),
+            "OUT": util.zeros(1),
+        }
+
+    def reference(memory):
+        table = dict(zip(memory["K1"], memory["V1"]))
+        total = 0
+        for key, value in zip(memory["K0"], memory["V0"]):
+            if key in table:
+                total += value * table[key]
+        memory["OUT"][0] = total
+
+    return Kernel(
+        name=name,
+        builder=builder,
+        space=VariantSpace(unroll_factors=(1,), has_join=True),
+        reference=reference,
+        make_memory=make_memory,
+        domain="irregular",
+        source_insts_per_instance=8,
+        description="sorted merge-join inner product",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sparse CNN (Section VIII-B): outer-product multiply + resparsification
+# ---------------------------------------------------------------------------
+
+def make_spmm_outer_kernel(name="spmm_outer", nnz_a=256, nnz_b=64,
+                           dense_dim=4096):
+    """Sparse x sparse outer product: for every nonzero pair,
+    ``C[ia * D + ib] += va * vb`` with the flat address computed on the
+    fabric (SPU/SCNN-style)."""
+
+    def builder(params):
+        dfg = Dfg(name)
+        va = dfg.add_input("va")
+        ia = dfg.add_input("ia")
+        vb = dfg.add_input("vb")
+        ib = dfg.add_input("ib")
+        dim = dfg.add_const(dense_dim, name="dim")
+        product = dfg.add_instr("mul", [va, vb])
+        row = dfg.add_instr("mul", [ia, dim])
+        addr = dfg.add_instr("add", [row, ib])
+        dfg.add_output("upd", [addr, product])
+
+        pairs = nnz_a * nnz_b
+        upd = UpdateStream(
+            "C",
+            direction=StreamDirection.WRITE,
+            update_op="add",
+            paired_index=True,
+            pair_count=pairs,
+        )
+        upd.scalarized = not params.use_atomic
+        region = OffloadRegion(
+            name,
+            dfg,
+            input_streams={
+                "va": util.read("VA", length=nnz_b, stride=0,
+                                outer_length=nnz_a, outer_stride=1),
+                "ia": util.read("IA", length=nnz_b, stride=0,
+                                outer_length=nnz_a, outer_stride=1),
+                "vb": util.read("VB", length=nnz_b,
+                                outer_length=nnz_a),
+                "ib": util.read("IB", length=nnz_b,
+                                outer_length=nnz_a),
+            },
+            output_streams={"upd": upd},
+            vector_width=params.unroll,
+            source_insts=9,
+            metadata={"array_memory": {"VB": "spad", "IB": "spad",
+                                       "C": "spad"}},
+        )
+        scope = ConfigScope(name)
+        scope.add(region)
+        return scope
+
+    def make_memory():
+        from repro.utils.rng import DeterministicRng
+
+        picker = DeterministicRng(f"{name}-idx")
+        rows = max(4, nnz_a // 4)
+        return {
+            "VA": util.int_data(nnz_a, f"{name}va", low=1, high=4),
+            "IA": [picker.randint(0, rows - 1) for _ in range(nnz_a)],
+            "VB": util.int_data(nnz_b, f"{name}vb", low=1, high=4),
+            "IB": [picker.randint(0, dense_dim - 1) for _ in range(nnz_b)],
+            "C": util.zeros(rows * dense_dim),
+        }
+
+    def reference(memory):
+        for va, ia in zip(memory["VA"], memory["IA"]):
+            for vb, ib in zip(memory["VB"], memory["IB"]):
+                memory["C"][ia * dense_dim + ib] += va * vb
+
+    return Kernel(
+        name=name,
+        builder=builder,
+        space=VariantSpace(
+            unroll_factors=(1,),
+            has_indirect=True,
+            has_atomic=True,
+        ),
+        reference=reference,
+        make_memory=make_memory,
+        domain="irregular",
+        source_insts_per_instance=9,
+        description="sparse outer-product multiply (SCNN-style)",
+    )
+
+
+def make_resparsify_kernel(name="resparsify", items=4096, threshold=2.0):
+    """Filter a dense intermediate back to sparse form: values with
+    ``|c| > threshold`` are compacted out with their indices (predicated
+    stores with data-dependent survivor count)."""
+
+    def builder(params):
+        dfg = Dfg(name)
+        c = dfg.add_input("c")
+        iota = dfg.add_input("iota")
+        limit = dfg.add_const(threshold, name="theta")
+        magnitude = dfg.add_instr("fabs", [c])
+        keep = dfg.add_instr("fcmp_gt", [magnitude, limit])
+        value = dfg.add_instr("copy", [c], predicate=keep)
+        index = dfg.add_instr("copy", [iota], predicate=keep)
+        dfg.add_output("val", value)
+        dfg.add_output("idx", index)
+
+        val_stream = util.write("SVAL", items)
+        idx_stream = util.write("SIDX", items)
+        val_stream.compacting = True
+        idx_stream.compacting = True
+        region = OffloadRegion(
+            name,
+            dfg,
+            input_streams={
+                "c": util.read("C", items),
+                "iota": util.read("IOTA", items),
+            },
+            output_streams={"val": val_stream, "idx": idx_stream},
+            vector_width=params.unroll,
+            source_insts=7,
+        )
+        scope = ConfigScope(name)
+        scope.add(region)
+        return scope
+
+    def make_memory():
+        return {
+            "C": util.fp_data(items, f"{name}c", low=-6, high=6),
+            "IOTA": list(range(items)),
+            "SVAL": util.fzeros(items),
+            "SIDX": util.zeros(items),
+        }
+
+    def reference(memory):
+        cursor = 0
+        for index, value in enumerate(memory["C"]):
+            if abs(value) > threshold:
+                memory["SVAL"][cursor] = value
+                memory["SIDX"][cursor] = index
+                cursor += 1
+
+    return Kernel(
+        name=name,
+        builder=builder,
+        space=VariantSpace(unroll_factors=(1,)),
+        reference=reference,
+        make_memory=make_memory,
+        domain="irregular",
+        source_insts_per_instance=7,
+        description="resparsification (threshold compaction)",
+    )

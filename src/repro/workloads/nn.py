@@ -1,0 +1,295 @@
+"""Dense neural-network kernels (the DSE DenseNN set, Section VIII-B):
+convolution, pooling, and classifier — the workloads DianNao [12] fixes
+in silicon, expressed here as decoupled-dataflow programs.
+"""
+
+from repro.compiler.kernel import Kernel, VariantSpace
+from repro.compiler.transforms.vectorize import reduction_tree
+from repro.ir.dfg import Dfg
+from repro.ir.region import ConfigScope, OffloadRegion
+from repro.ir.stream import RecurrenceStream, StreamDirection
+from repro.workloads import util
+
+
+def make_conv_kernel(name="conv", size=28, kernel=3, channels=4):
+    """Multi-channel 3x3 convolution: the per-channel partial sums are
+    recycled through the sync buffers (repetitive in-place update) so the
+    accumulator never round-trips to memory."""
+    interior = size - kernel + 1
+    taps = kernel * kernel
+
+    def builder(params):
+        unroll = params.unroll
+        util.require_divides(unroll, interior, "conv output width")
+        dfg = Dfg(name)
+        tap_nodes = [
+            dfg.add_input(f"t{k}", lanes=unroll) for k in range(taps)
+        ]
+        weights = [dfg.add_const(0.0, name=f"w{k}") for k in range(taps)]
+        partial = dfg.add_input("acc", lanes=unroll)
+        out_lanes = []
+        for lane in range(unroll):
+            terms = [
+                dfg.add_instr("fmul", [(tap_nodes[k], lane), weights[k]])
+                for k in range(taps)
+            ]
+            total = reduction_tree(dfg, "fadd", terms)
+            out_lanes.append(
+                dfg.add_instr("fadd", [(partial, lane), total])
+            )
+        dfg.add_output("o", out_lanes)
+
+        plane = size * size
+        out_words = interior * interior
+
+        def tap_binding(k):
+            di, dj = divmod(k, kernel)
+            return [
+                util.read(
+                    "IN",
+                    offset=c * plane + di * size + dj,
+                    length=interior,
+                    outer_length=interior,
+                    outer_stride=size,
+                )
+                for c in range(channels)
+            ]
+
+        acc_binding = [util.read("OUT", out_words)]
+        out_binding = []
+        if channels > 1:
+            recycled = (channels - 1) * out_words
+            acc_binding.append(RecurrenceStream(
+                array="", source_port="o", length=recycled,
+            ))
+            out_binding.append(RecurrenceStream(
+                array="", source_port="o", length=recycled,
+                direction=StreamDirection.WRITE,
+            ))
+        out_binding.append(util.write("OUT", out_words))
+
+        input_streams = {f"t{k}": tap_binding(k) for k in range(taps)}
+        input_streams["acc"] = acc_binding
+        region = OffloadRegion(
+            name,
+            dfg,
+            input_streams=input_streams,
+            output_streams={"o": out_binding},
+            vector_width=unroll,
+            source_insts=taps * 2 + 6,
+            metadata={
+                "const_bindings": {
+                    f"w{k}": ("W", k) for k in range(taps)
+                },
+                "recurrence_concurrency": out_words // unroll,
+                "array_memory": {"W": "spad"},
+            },
+        )
+        scope = ConfigScope(name)
+        scope.add(region)
+        return scope
+
+    def make_memory():
+        return {
+            "IN": util.fp_data(channels * size * size, f"{name}in"),
+            "W": util.fp_data(taps, f"{name}w"),
+            "OUT": util.fzeros(interior * interior),
+        }
+
+    def reference(memory):
+        src, weights, dst = memory["IN"], memory["W"], memory["OUT"]
+        plane = size * size
+        for c in range(channels):
+            for i in range(interior):
+                for j in range(interior):
+                    total = 0.0
+                    for di in range(kernel):
+                        for dj in range(kernel):
+                            total += (
+                                weights[di * kernel + dj]
+                                * src[c * plane + (i + di) * size + (j + dj)]
+                            )
+                    dst[i * interior + j] += total
+
+    return Kernel(
+        name=name,
+        builder=builder,
+        space=VariantSpace(unroll_factors=(1, 2)),
+        reference=reference,
+        make_memory=make_memory,
+        domain="nn",
+        source_insts_per_instance=taps * 2 + 6,
+        description=f"{kernel}x{kernel} conv, {channels} channels",
+    )
+
+
+def make_pool_kernel(name="pool", size=28, window=2):
+    """2x2 max pooling."""
+    out_dim = size // window
+
+    def builder(params):
+        unroll = params.unroll
+        util.require_divides(unroll, out_dim, "pool output width")
+        dfg = Dfg(name)
+        tap_nodes = [
+            dfg.add_input(f"t{k}", lanes=unroll)
+            for k in range(window * window)
+        ]
+        out_lanes = []
+        for lane in range(unroll):
+            out_lanes.append(reduction_tree(
+                dfg, "fmax",
+                [(node, lane) for node in tap_nodes],
+            ))
+        dfg.add_output("o", out_lanes)
+
+        input_streams = {}
+        for k in range(window * window):
+            di, dj = divmod(k, window)
+            input_streams[f"t{k}"] = util.read(
+                "IN",
+                offset=di * size + dj,
+                stride=window,
+                length=out_dim,
+                outer_length=out_dim,
+                outer_stride=size * window,
+            )
+        region = OffloadRegion(
+            name,
+            dfg,
+            input_streams=input_streams,
+            output_streams={"o": util.write("OUT", out_dim * out_dim)},
+            vector_width=unroll,
+            source_insts=window * window + 5,
+        )
+        scope = ConfigScope(name)
+        scope.add(region)
+        return scope
+
+    def make_memory():
+        return {
+            "IN": util.fp_data(size * size, f"{name}in"),
+            "OUT": util.fzeros(out_dim * out_dim),
+        }
+
+    def reference(memory):
+        src, dst = memory["IN"], memory["OUT"]
+        for i in range(out_dim):
+            for j in range(out_dim):
+                best = None
+                for di in range(window):
+                    for dj in range(window):
+                        value = src[(i * window + di) * size
+                                    + j * window + dj]
+                        best = value if best is None else max(best, value)
+                dst[i * out_dim + j] = best
+
+    return Kernel(
+        name=name,
+        builder=builder,
+        space=VariantSpace(unroll_factors=(1, 2, 4)),
+        reference=reference,
+        make_memory=make_memory,
+        domain="nn",
+        source_insts_per_instance=9,
+        description=f"{window}x{window} max pooling",
+    )
+
+
+def make_classifier_kernel(name="classifier", inputs=256, outputs=64):
+    """Fully connected layer: y = sigmoid(W x + b).
+
+    Two forwarded regions: the MAC region reduces each output's dot
+    product and forwards the sums to an activation region that adds the
+    bias and applies the sigmoid — producer-consumer pipelining
+    (Section IV-D)."""
+
+    def builder(params):
+        unroll = params.unroll
+        util.require_divides(unroll, inputs, "classifier input width")
+
+        mac = Dfg(f"{name}_mac")
+        w = mac.add_input("w", lanes=unroll)
+        x = mac.add_input("x", lanes=unroll)
+        products = [
+            mac.add_instr("fmul", [(w, lane), (x, lane)])
+            for lane in range(unroll)
+        ]
+        total = reduction_tree(mac, "fadd", products)
+        acc = mac.add_instr(
+            "fadd", [total], reduction=True, emit_every=inputs // unroll
+        )
+        mac.add_output("s_out", acc)
+        mac_region = OffloadRegion(
+            f"{name}_mac",
+            mac,
+            input_streams={
+                "w": util.read("W", length=inputs, outer_length=outputs,
+                               outer_stride=inputs),
+                "x": util.read("X", length=inputs, outer_length=outputs),
+            },
+            output_streams={
+                "s_out": RecurrenceStream(
+                    array="", source_port="s_out", length=outputs,
+                    direction=StreamDirection.WRITE,
+                ),
+            },
+            vector_width=unroll,
+            source_insts=6,
+            metadata={"array_memory": {"X": "spad"}},
+        )
+
+        act = Dfg(f"{name}_act")
+        s = act.add_input("s")
+        bias = act.add_input("b")
+        y = act.add_instr("sigmoid", [act.add_instr("fadd", [s, bias])])
+        act.add_output("y", y)
+        act_region = OffloadRegion(
+            f"{name}_act",
+            act,
+            input_streams={
+                "s": RecurrenceStream(
+                    array="", source_port="s_out", length=outputs,
+                ),
+                "b": util.read("B", outputs),
+            },
+            output_streams={"y": util.write("Y", outputs)},
+            source_insts=4,
+        )
+        scope = ConfigScope(
+            name,
+            regions=[mac_region, act_region],
+            forwards=[(f"{name}_mac", "s_out", f"{name}_act", "s")],
+        )
+        return scope
+
+    def make_memory():
+        return {
+            "W": util.fp_data(inputs * outputs, f"{name}w", low=-2, high=2),
+            "X": util.fp_data(inputs, f"{name}x", low=-2, high=2),
+            "B": util.fp_data(outputs, f"{name}b"),
+            "Y": util.fzeros(outputs),
+        }
+
+    def reference(memory):
+        import math
+
+        w, x, b = memory["W"], memory["X"], memory["B"]
+        for o in range(outputs):
+            total = 0.0
+            for i in range(inputs):
+                total += w[o * inputs + i] * x[i]
+            z = total + b[o]
+            memory["Y"][o] = 1.0 / (1.0 + math.exp(-max(-60.0,
+                                                        min(60.0, z))))
+
+    return Kernel(
+        name=name,
+        builder=builder,
+        space=VariantSpace(unroll_factors=(1, 2, 4, 8)),
+        reference=reference,
+        make_memory=make_memory,
+        domain="nn",
+        source_insts_per_instance=7,
+        description="dense layer with sigmoid activation",
+    )

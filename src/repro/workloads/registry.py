@@ -1,0 +1,132 @@
+"""Workload registry: constructs Table I kernels at paper or scaled size.
+
+``kernel(name, scale)`` builds the kernel with problem dimensions scaled
+by ``scale`` (1.0 = paper size). Scaling happens here — builders and
+reference implementations always agree on one size.
+"""
+
+from repro.workloads import dense, dsp, irregular, nn
+from repro.workloads.spec import PAPER_SIZES, WORKLOAD_DOMAINS
+
+
+def _dim(value, scale, floor=4, multiple=4):
+    """Scale one linear dimension, keeping it a multiple for unrolling."""
+    if scale >= 1.0:
+        return value
+    scaled = max(floor, int(round(value * scale)))
+    return max(floor, (scaled // multiple) * multiple)
+
+
+def _pow2(value, scale, floor=8):
+    """Scale a power-of-two dimension to a smaller power of two."""
+    if scale >= 1.0:
+        return value
+    target = max(floor, value * scale)
+    result = value
+    while result / 2 >= target:
+        result //= 2
+    return max(floor, result)
+
+
+def _factories():
+    sizes = PAPER_SIZES
+    return {
+        "md": lambda s: irregular.make_md_kernel(
+            atoms=_dim(sizes["md"]["atoms"], s),
+            neighbors=sizes["md"]["neighbors"] if s >= 1.0 else 8,
+        ),
+        "crs": lambda s: irregular.make_crs_kernel(
+            rows=_dim(sizes["crs"]["rows"], s, floor=8, multiple=8),
+            nnz_per_row=sizes["crs"]["nnz_per_row"],
+        ),
+        "ellpack": lambda s: irregular.make_ellpack_kernel(
+            rows=_dim(sizes["ellpack"]["rows"], s, floor=8, multiple=8),
+            nnz_per_row=sizes["ellpack"]["nnz_per_row"],
+        ),
+        "mm": lambda s: dense.make_gemm_kernel(
+            "mm", _dim(sizes["mm"]["n"], s, floor=8, multiple=8)
+        ),
+        "stencil2d": lambda s: dense.make_stencil2d_kernel(
+            rows=_dim(sizes["stencil2d"]["rows"], s) + 2,
+            cols=_dim(sizes["stencil2d"]["cols"], s) + 2,
+        ),
+        "stencil3d": lambda s: dense.make_stencil3d_kernel(
+            d0=_dim(sizes["stencil3d"]["dim0"], s) + 2,
+            d1=_dim(sizes["stencil3d"]["dim1"], s) + 2,
+            d2=_dim(sizes["stencil3d"]["dim2"], s) + 2,
+        ),
+        "histogram": lambda s: irregular.make_histogram_kernel(
+            bins=_pow2(sizes["histogram"]["bins"], s, floor=32),
+            items=_pow2(sizes["histogram"]["items"], s, floor=256),
+        ),
+        "join": lambda s: irregular.make_join_kernel(
+            left=_dim(sizes["join"]["left"], s, floor=16, multiple=8),
+            right=_dim(sizes["join"]["right"], s, floor=16, multiple=8),
+        ),
+        "qr": lambda s: dsp.make_qr_kernel(
+            n=_dim(sizes["qr"]["n"], s, floor=8, multiple=8)
+        ),
+        "chol": lambda s: dsp.make_chol_kernel(
+            n=_dim(sizes["chol"]["n"], s, floor=8, multiple=4)
+        ),
+        "fft": lambda s: dsp.make_fft_kernel(
+            n=_pow2(sizes["fft"]["n"], s, floor=32)
+        ),
+        "pb_mm": lambda s: dense.make_gemm_kernel(
+            "pb_mm", _dim(sizes["pb_mm"]["n"], s, floor=8, multiple=8)
+        ),
+        "pb_2mm": lambda s: dense.make_gemm_kernel(
+            "pb_2mm", _dim(sizes["pb_2mm"]["n"], s, floor=8, multiple=8),
+            chained=2,
+        ),
+        "pb_3mm": lambda s: dense.make_gemm_kernel(
+            "pb_3mm", _dim(sizes["pb_3mm"]["n"], s, floor=8, multiple=8),
+            chained=3,
+        ),
+        "conv": lambda s: nn.make_conv_kernel(
+            size=_dim(sizes["conv"]["size"], s) + 2,
+            kernel=sizes["conv"]["kernel"],
+            channels=sizes["conv"]["channels"] if s >= 1.0 else 2,
+        ),
+        "pool": lambda s: nn.make_pool_kernel(
+            size=_dim(sizes["pool"]["size"], s, multiple=8),
+            window=sizes["pool"]["window"],
+        ),
+        "classifier": lambda s: nn.make_classifier_kernel(
+            inputs=_pow2(sizes["classifier"]["inputs"], s, floor=32),
+            outputs=_pow2(sizes["classifier"]["outputs"], s, floor=16),
+        ),
+        "spmm_outer": lambda s: irregular.make_spmm_outer_kernel(
+            nnz_a=_pow2(sizes["spmm_outer"]["nnz_a"], s, floor=16),
+            nnz_b=_pow2(64, s, floor=8),
+            dense_dim=_pow2(sizes["spmm_outer"]["dense_dim"], s, floor=64),
+        ),
+        "resparsify": lambda s: irregular.make_resparsify_kernel(
+            items=_pow2(sizes["resparsify"]["items"], s, floor=128),
+        ),
+    }
+
+
+_KERNEL_FACTORIES = _factories()
+
+
+def workload_names():
+    return sorted(_KERNEL_FACTORIES)
+
+
+def kernel(name, scale=1.0):
+    """Construct workload ``name`` at the given linear scale."""
+    try:
+        factory = _KERNEL_FACTORIES[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}") from None
+    return factory(scale)
+
+
+def kernels_in_domain(domain, scale=1.0):
+    """All kernels of one Table I domain (see WORKLOAD_DOMAINS)."""
+    return [kernel(name, scale) for name in WORKLOAD_DOMAINS[domain]]
+
+
+def all_kernels(scale=1.0):
+    return [kernel(name, scale) for name in workload_names()]

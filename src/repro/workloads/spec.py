@@ -1,0 +1,75 @@
+"""Workload specification (Table I) and size scaling.
+
+``PAPER_SIZES`` records the data sizes the paper evaluates. Pure-Python
+cycle-level simulation cannot run 64^3 GEMM in test time, so every
+workload also has a ``scaled`` size used by tests and benches; the
+performance model extrapolates to paper sizes where a bench reports them.
+"""
+
+#: Table I data sizes (per workload, in the paper's units).
+PAPER_SIZES = {
+    # MachSuite
+    "md": {"atoms": 128, "neighbors": 16},
+    "crs": {"rows": 464, "nnz_per_row": 4},
+    "ellpack": {"rows": 464, "nnz_per_row": 4},
+    "mm": {"n": 64},
+    "stencil2d": {"rows": 130, "cols": 130, "points": 9},
+    "stencil3d": {"dim0": 32, "dim1": 32, "dim2": 16},
+    # Sparse (SPU microbenchmarks)
+    "histogram": {"bins": 1 << 10, "items": 1 << 16},
+    "join": {"left": 768, "right": 768},
+    # DSP (REVEL)
+    "qr": {"n": 32},
+    "chol": {"n": 32},
+    "fft": {"n": 1 << 10},
+    # PolyBench
+    "pb_mm": {"n": 32},
+    "pb_2mm": {"n": 32},
+    "pb_3mm": {"n": 32},
+    # DSE sets (Section VIII-B)
+    "conv": {"size": 28, "kernel": 3, "channels": 4},
+    "pool": {"size": 28, "window": 2},
+    "classifier": {"inputs": 256, "outputs": 64},
+    "spmm_outer": {"nnz_a": 256, "nnz_b": 256, "dense_dim": 1 << 12},
+    "resparsify": {"items": 1 << 12},
+}
+
+#: Domain membership (drives Figures 10/12/14 groupings).
+WORKLOAD_DOMAINS = {
+    "machsuite": ["md", "crs", "ellpack", "mm", "stencil2d", "stencil3d"],
+    "sparse": ["histogram", "join"],
+    "dsp": ["qr", "chol", "fft"],
+    "polybench": ["pb_mm", "pb_2mm", "pb_3mm"],
+    "densenn": ["conv", "pool", "classifier"],
+    "sparsecnn": ["spmm_outer", "resparsify"],
+}
+
+#: Default linear shrink factor for test/bench runs.
+DEFAULT_SCALE = 0.25
+
+#: Per-parameter floors so scaled problems stay meaningful.
+_FLOORS = {
+    "neighbors": 4, "nnz_per_row": 2, "points": 9, "kernel": 3,
+    "window": 2, "channels": 1,
+}
+
+
+def scaled_size(name, scale=DEFAULT_SCALE):
+    """Scaled problem parameters for ``name``.
+
+    Linear dimensions shrink by ``scale`` (power-of-two-ish rounding so
+    vectorization factors still divide trip counts); structural
+    parameters (stencil points, pooling window) are preserved.
+    """
+    if name not in PAPER_SIZES:
+        raise KeyError(f"unknown workload {name!r}")
+    params = {}
+    for key, value in PAPER_SIZES[name].items():
+        if key in _FLOORS:
+            params[key] = max(_FLOORS[key], value if scale >= 1.0
+                              else _FLOORS[key])
+            continue
+        scaled = max(4, int(round(value * scale)))
+        # Round to a multiple of 4 so unroll factors divide evenly.
+        params[key] = max(4, (scaled // 4) * 4)
+    return params

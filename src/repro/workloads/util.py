@@ -1,0 +1,86 @@
+"""Shared helpers for workload builders.
+
+All kernels express their decoupled form through these wrappers so stream
+directions, word sizes, and deterministic test data stay consistent.
+Floating-point kernels use small integer-valued floats so reference
+results match the dataflow execution exactly despite reduction-order
+differences.
+"""
+
+from repro.errors import CompilationError
+from repro.ir.stream import LinearStream, StreamDirection
+from repro.utils.rng import DeterministicRng
+
+
+def read(array, length, offset=0, stride=1, outer_length=1, outer_stride=0,
+         length_stretch=0, word_bytes=8):
+    """A read-side linear stream."""
+    return LinearStream(
+        array,
+        direction=StreamDirection.READ,
+        offset=offset,
+        stride=stride,
+        length=length,
+        outer_length=outer_length,
+        outer_stride=outer_stride,
+        length_stretch=length_stretch,
+        word_bytes=word_bytes,
+    )
+
+
+def write(array, length, offset=0, stride=1, outer_length=1, outer_stride=0,
+          length_stretch=0, word_bytes=8):
+    """A write-side linear stream."""
+    return LinearStream(
+        array,
+        direction=StreamDirection.WRITE,
+        offset=offset,
+        stride=stride,
+        length=length,
+        outer_length=outer_length,
+        outer_stride=outer_stride,
+        length_stretch=length_stretch,
+        word_bytes=word_bytes,
+    )
+
+
+def require_divides(factor, value, what):
+    """Variants whose unroll does not divide a trip count are unbuildable."""
+    if value % factor:
+        raise CompilationError(
+            f"unroll {factor} does not divide {what} ({value})"
+        )
+
+
+def int_data(count, seed, low=-8, high=8):
+    """Deterministic small integers."""
+    rng = DeterministicRng(("int", seed))
+    return [rng.randint(low, high) for _ in range(count)]
+
+
+def fp_data(count, seed, low=-4, high=4):
+    """Deterministic integer-valued floats (exact under reassociation)."""
+    rng = DeterministicRng(("fp", seed))
+    return [float(rng.randint(low, high)) for _ in range(count)]
+
+
+def positive_fp_data(count, seed, low=1, high=6):
+    """Strictly positive floats (for divisors / sqrt inputs)."""
+    rng = DeterministicRng(("pfp", seed))
+    return [float(rng.randint(low, high)) for _ in range(count)]
+
+
+def sorted_unique_keys(count, seed, universe_factor=4):
+    """Sorted distinct integer keys (for merge-join inputs)."""
+    rng = DeterministicRng(("keys", seed))
+    universe = count * universe_factor
+    keys = sorted(rng.sample(range(universe), count))
+    return keys
+
+
+def zeros(count):
+    return [0] * count
+
+
+def fzeros(count):
+    return [0.0] * count

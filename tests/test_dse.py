@@ -1,0 +1,164 @@
+"""Tests for design-space exploration."""
+
+import pytest
+
+from repro.adg import topologies, validate_adg
+from repro.dse import AdgMutator, DesignSpaceExplorer, DseObjective
+from repro.dse.mutation import trim_unused_features
+from repro.errors import DseError
+from repro.utils.rng import DeterministicRng
+from repro.workloads import kernel as make_kernel
+
+
+class TestMutations:
+    def test_mutations_keep_validity(self):
+        mutator = AdgMutator(DeterministicRng(0))
+        adg = topologies.dse_initial()
+        for _ in range(30):
+            adg, descriptions = mutator.mutate(adg)
+            assert descriptions
+            validate_adg(adg, strict=False)
+
+    def test_original_untouched(self):
+        mutator = AdgMutator(DeterministicRng(1))
+        adg = topologies.dse_initial()
+        snapshot = adg.stats()
+        mutator.mutate(adg, count=3)
+        assert adg.stats() == snapshot
+
+    def test_mutation_deterministic(self):
+        results = []
+        for _ in range(2):
+            mutator = AdgMutator(DeterministicRng(5))
+            _, descriptions = mutator.mutate(
+                topologies.dse_initial(), count=3
+            )
+            results.append(descriptions)
+        assert results[0] == results[1]
+
+    def test_never_removes_last_pe(self):
+        mutator = AdgMutator(DeterministicRng(2))
+        adg = topologies.cca()
+        for _ in range(25):
+            adg, _ = mutator.mutate(adg)
+            assert len(adg.pes()) >= 1
+
+    def test_memory_interfaces_fixed(self):
+        """Section V-D: one DMA + one scratchpad throughout DSE."""
+        mutator = AdgMutator(DeterministicRng(3))
+        adg = topologies.dse_initial()
+        for _ in range(30):
+            adg, _ = mutator.mutate(adg)
+            assert len(adg.memories()) == 2
+            assert adg.control_core() is not None
+
+    def test_trim_unused_features(self):
+        from repro.compiler import compile_kernel
+
+        adg = topologies.dse_initial()
+        result = compile_kernel(
+            make_kernel("mm", 0.05), adg,
+            rng=DeterministicRng(0), max_iters=80,
+        )
+        assert result.ok
+        clone = adg.clone()
+        changes = trim_unused_features(clone, [result.schedule])
+        assert changes > 0
+        # mm uses no sjoin; no PE should retain it afterwards.
+        used = result.schedule.scope.required_ops()
+        for pe in clone.pes():
+            if pe.op_names != used:
+                assert pe.op_names <= set(
+                    op for s in [result.schedule]
+                    for region in s.regions()
+                    for op in region.dfg.required_ops()
+                ) or pe.op_names
+        validate_adg(clone, strict=False)
+
+
+class TestObjective:
+    def test_budget_enforced(self):
+        objective = DseObjective(area_budget_mm2=1.0)
+        objective.set_baseline({"k": 100.0})
+        assert objective.score({"k": 50.0}, area_mm2=2.0,
+                               power_mw=10.0) == float("-inf")
+
+    def test_speedup_squared_over_area(self):
+        objective = DseObjective(area_budget_mm2=100.0,
+                                 power_budget_mw=1e9)
+        objective.set_baseline({"k": 100.0})
+        slow = objective.score({"k": 100.0}, 1.0, 1.0)
+        fast = objective.score({"k": 50.0}, 1.0, 1.0)
+        assert fast == pytest.approx(4.0 * slow)
+
+    def test_smaller_is_better_at_equal_perf(self):
+        objective = DseObjective(area_budget_mm2=100.0,
+                                 power_budget_mw=1e9)
+        objective.set_baseline({"k": 100.0})
+        big = objective.score({"k": 100.0}, 2.0, 1.0)
+        small = objective.score({"k": 100.0}, 1.0, 1.0)
+        assert small > big
+
+    def test_failed_kernel_scores_minus_inf(self):
+        objective = DseObjective()
+        objective.set_baseline({"k": 100.0})
+        assert objective.score({}, 1.0, 1.0) == float("-inf")
+
+
+class TestExplorer:
+    @pytest.fixture(scope="class")
+    def result(self):
+        kernels = [make_kernel(name, 0.05) for name in ("mm", "join")]
+        explorer = DesignSpaceExplorer(
+            kernels, topologies.dse_initial(),
+            rng=DeterministicRng(11), sched_iters=40,
+        )
+        return explorer.run(max_iters=8)
+
+    def test_history_starts_with_initial(self, result):
+        assert result.history[0].mutations == ["initial"]
+        assert result.history[0].accepted
+
+    def test_objective_never_decreases_among_accepted(self, result):
+        best = float("-inf")
+        for entry in result.history:
+            if entry.accepted:
+                assert entry.objective >= best - 1e-12
+                best = entry.objective
+
+    def test_best_adg_validates_and_compiles(self, result):
+        validate_adg(result.best_adg, strict=False)
+        from repro.compiler import compile_kernel
+
+        compiled = compile_kernel(
+            make_kernel("mm", 0.05), result.best_adg,
+            rng=DeterministicRng(0), max_iters=80,
+        )
+        assert compiled.ok
+
+    def test_area_saving_nonnegative(self, result):
+        assert result.area_saving() >= -0.05
+
+    def test_tiny_budget_never_scores(self):
+        kernels = [make_kernel("pool", 0.05)]
+        explorer = DesignSpaceExplorer(
+            kernels, topologies.dse_initial(),
+            rng=DeterministicRng(0), sched_iters=30,
+            area_budget_mm2=1e-6,
+        )
+        outcome = explorer.run(max_iters=2)
+        assert outcome.best_objective == float("-inf")
+        assert all(
+            entry.objective == float("-inf")
+            for entry in outcome.history
+        )
+
+    def test_infeasible_initial_raises(self):
+        # A kernel set the tiny CCA cannot host (fp GEMM needs fmul).
+        kernels = [make_kernel("classifier", 0.05)]
+        explorer = DesignSpaceExplorer(
+            kernels, topologies.cca(),
+            rng=DeterministicRng(0), sched_iters=30,
+        )
+        with pytest.raises(DseError):
+            explorer.run(max_iters=2)

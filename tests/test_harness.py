@@ -1,0 +1,72 @@
+"""Smoke tests for the reproduction harness drivers (fast paths only;
+the full figures run under benchmarks/)."""
+
+from repro.harness import fig13, table1
+from repro.harness.fig12 import build_variant
+from repro.harness.report import format_table
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [
+            {"name": "a", "value": 1.2345},
+            {"name": "bbbb", "value": 22},
+        ]
+        text = format_table(rows, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestTable1:
+    def test_rows_have_both_sizes(self):
+        rows, summary = table1.run()
+        assert summary["workloads"] == len(rows)
+        for row in rows:
+            assert row["paper_size"] and row["scaled_size"]
+
+
+class TestFig13Driver:
+    def test_small_run(self):
+        rows, summary = fig13.run(dims=(2,), path_counts=(3,))
+        assert len(rows) == 1
+        assert rows[0]["covered"]
+        assert summary["mean_ratio"] >= 1.0
+
+    def test_fabric_mesh_strips_non_fabric(self):
+        adg = fig13.fabric_mesh(2)
+        kinds = {node.KIND for node in adg.nodes()}
+        assert kinds == {"pe", "switch"}
+
+
+class TestFig12Variants:
+    def test_baseline_matches_paper_description(self):
+        adg = build_variant()
+        assert len(adg.pes()) == 16
+        assert all(not pe.is_dynamic and not pe.is_shared
+                   for pe in adg.pes())
+        spad = adg.scratchpad()
+        assert spad.width_bytes == 64  # 512-bit scratchpad
+        assert not spad.indirect
+
+    def test_feature_toggles_independent(self):
+        shared = build_variant(shared=True)
+        assert sum(pe.is_shared for pe in shared.pes()) == 4
+        assert not any(pe.is_dynamic for pe in shared.pes())
+
+        dynamic = build_variant(dynamic=True)
+        assert all(pe.is_dynamic for pe in dynamic.pes())
+        assert dynamic.has_stream_join()
+
+        indirect = build_variant(indirect=True)
+        assert indirect.scratchpad().indirect
+        assert indirect.scratchpad().atomic_update

@@ -1,0 +1,227 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These pin down framework invariants on randomized inputs: random
+dataflow graphs must schedule to *consistent* mappings (routes connect
+the right endpoints through switches only, multicast values agree),
+serialization must round-trip arbitrary generated designs, and stream
+address algebra must match its definition.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adg import adg_from_dict, adg_to_dict, topologies
+from repro.adg.components import Direction, ProcessingElement, Switch
+from repro.ir import ConfigScope, Dfg, LinearStream, OffloadRegion
+from repro.ir.stream import StreamDirection
+from repro.scheduler import SpatialScheduler
+from repro.utils.rng import DeterministicRng
+
+_SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# Random dataflow scopes
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_scope(draw):
+    """A random small elementwise dataflow with 1-3 inputs and a few
+    arithmetic nodes feeding one output."""
+    num_inputs = draw(st.integers(1, 3))
+    num_instrs = draw(st.integers(1, 6))
+    length = draw(st.sampled_from([4, 8, 16]))
+    dfg = Dfg("rand")
+    values = [dfg.add_input(f"i{k}") for k in range(num_inputs)]
+    for index in range(num_instrs):
+        op = draw(st.sampled_from(["add", "sub", "mul", "min", "max"]))
+        left = draw(st.sampled_from(values))
+        right = draw(st.sampled_from(values))
+        values.append(dfg.add_instr(op, [left, right],
+                                    name=f"n{index}"))
+    dfg.add_output("o", values[-1])
+    region = OffloadRegion(
+        "rand", dfg,
+        input_streams={
+            f"i{k}": LinearStream(f"A{k}", length=length)
+            for k in range(num_inputs)
+        },
+        output_streams={
+            "o": LinearStream("OUT", direction=StreamDirection.WRITE,
+                              length=length),
+        },
+    )
+    return ConfigScope("s", regions=[region])
+
+
+class TestSchedulerInvariants:
+    @_SLOW
+    @given(scope=random_scope(), seed=st.integers(0, 3))
+    def test_routes_are_wellformed_paths(self, scope, seed):
+        adg = topologies.softbrain()
+        scheduler = SpatialScheduler(
+            adg, rng=DeterministicRng(seed), max_iters=60
+        )
+        sched, cost = scheduler.schedule(scope)
+        for edge, links in sched.routes.items():
+            src_hw = sched.placement.get(edge.src)
+            dst_hw = sched.placement.get(edge.dst)
+            if src_hw is None or dst_hw is None:
+                continue
+            if not links:
+                assert src_hw == dst_hw
+                continue
+            assert adg.link(links[0]).src == src_hw
+            assert adg.link(links[-1]).dst == dst_hw
+            for first, second in zip(links, links[1:]):
+                joint = adg.link(first).dst
+                assert joint == adg.link(second).src
+                node = adg.node(joint)
+                assert node.KIND in ("switch", "delay")
+
+    @_SLOW
+    @given(scope=random_scope())
+    def test_legal_costs_have_no_overuse(self, scope):
+        adg = topologies.softbrain()
+        scheduler = SpatialScheduler(
+            adg, rng=DeterministicRng(1), max_iters=80
+        )
+        sched, cost = scheduler.schedule(scope)
+        if not cost.is_legal:
+            return
+        # Every value set on every link is a singleton.
+        for link_id, values in sched.link_values().items():
+            assert len(values) == 1
+        # Dedicated PEs host at most one instruction.
+        for hw_name, load in sched.pe_load().items():
+            hw = adg.node(hw_name)
+            assert load <= hw.max_instructions
+
+    @_SLOW
+    @given(scope=random_scope())
+    def test_instruction_placements_capable(self, scope):
+        adg = topologies.spu()
+        scheduler = SpatialScheduler(
+            adg, rng=DeterministicRng(2), max_iters=60
+        )
+        sched, _cost = scheduler.schedule(scope)
+        from repro.ir.dfg import NodeKind
+
+        for vertex, hw_name in sched.placement.items():
+            node = sched.node_of(vertex)
+            hw = adg.node(hw_name)
+            if node.kind is NodeKind.INSTR:
+                assert isinstance(hw, ProcessingElement)
+                assert node.op in hw.op_names
+            elif node.kind is NodeKind.INPUT:
+                assert hw.direction is Direction.INPUT
+            elif node.kind is NodeKind.OUTPUT:
+                assert hw.direction is Direction.OUTPUT
+
+
+# ---------------------------------------------------------------------------
+# Serialization fuzzing
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_mesh(draw):
+    rows = draw(st.integers(1, 3))
+    cols = draw(st.integers(1, 3))
+    adg = topologies.build_mesh(rows, cols)
+    # Random parameter perturbations.
+    for pe in adg.pes():
+        if draw(st.booleans()):
+            pe.delay_fifo_depth = draw(st.sampled_from([4, 8, 16, 32]))
+    spad = adg.scratchpad()
+    spad.banks = draw(st.sampled_from([1, 2, 4, 8]))
+    spad.indirect = draw(st.booleans())
+    if not spad.indirect:
+        spad.atomic_update = False
+    return adg
+
+
+class TestSerializationFuzz:
+    @_SLOW
+    @given(adg=random_mesh())
+    def test_round_trip_exact(self, adg):
+        payload = adg_to_dict(adg)
+        clone = adg_from_dict(payload)
+        assert adg_to_dict(clone) == payload
+
+    @_SLOW
+    @given(adg=random_mesh())
+    def test_feature_set_stable_across_round_trip(self, adg):
+        clone = adg_from_dict(adg_to_dict(adg))
+        assert clone.feature_set() == adg.feature_set()
+
+
+# ---------------------------------------------------------------------------
+# Stream algebra
+# ---------------------------------------------------------------------------
+
+class TestStreamAlgebra:
+    @given(
+        offset=st.integers(0, 50),
+        stride=st.integers(-4, 4).filter(lambda s: s != 0),
+        length=st.integers(1, 12),
+        outer_stride=st.integers(0, 30),
+        outer_length=st.integers(1, 4),
+    )
+    def test_addresses_match_definition(self, offset, stride, length,
+                                        outer_stride, outer_length):
+        stream = LinearStream(
+            "a", offset=offset, stride=stride, length=length,
+            outer_stride=outer_stride, outer_length=outer_length,
+        )
+        expected = [
+            offset + outer * outer_stride + inner * stride
+            for outer in range(outer_length)
+            for inner in range(length)
+        ]
+        assert list(stream.addresses()) == expected
+
+    @given(
+        length=st.integers(1, 8),
+        stretch=st.integers(0, 3),
+        outer_length=st.integers(1, 5),
+    )
+    def test_inductive_volume_is_arithmetic_series(self, length, stretch,
+                                                   outer_length):
+        stream = LinearStream(
+            "a", length=length, outer_length=outer_length,
+            length_stretch=stretch,
+        )
+        expected = sum(
+            length + outer * stretch for outer in range(outer_length)
+        )
+        assert stream.volume() == expected
+        assert len(list(stream.addresses())) == expected
+
+
+# ---------------------------------------------------------------------------
+# Config paths on random meshes
+# ---------------------------------------------------------------------------
+
+class TestConfigPathFuzz:
+    @_SLOW
+    @given(
+        rows=st.integers(1, 3),
+        cols=st.integers(1, 3),
+        num_paths=st.integers(1, 8),
+    )
+    def test_always_covered_and_bounded(self, rows, cols, num_paths):
+        from repro.hwgen import generate_config_paths
+        from repro.hwgen.config_path import coverage
+
+        adg = topologies.build_mesh(rows, cols)
+        paths = generate_config_paths(adg, num_paths)
+        assert not coverage(paths, adg)
+        total_nodes = len(adg.node_names())
+        for path in paths:
+            assert len(path) <= total_nodes * 3  # no pathological walks

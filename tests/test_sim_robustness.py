@@ -1,0 +1,102 @@
+"""Robustness/failure-injection tests for the cycle-level simulator:
+tiny buffers, starved bandwidth, and hardware feature toggles must slow
+execution down, never corrupt results."""
+
+import copy
+import math
+
+import pytest
+
+from repro.adg import topologies
+from repro.compiler import compile_kernel
+from repro.sim import CycleSimulator, simulate
+from repro.utils.rng import DeterministicRng
+from repro.workloads import kernel as make_kernel
+
+
+def run_with(adg, name="ellpack", scale=0.05, config_cycles=None):
+    workload = make_kernel(name, scale)
+    result = compile_kernel(
+        workload, adg, rng=DeterministicRng(0), max_iters=120
+    )
+    assert result.ok, name
+    memory = workload.make_memory()
+    result.scope.bind_constants(memory)
+    reference = copy.deepcopy(memory)
+    sim = CycleSimulator(
+        adg, result.scope, result.schedule, result.program,
+        config_cycles=config_cycles,
+    ).run(memory)
+    workload.reference(reference)
+    for array in memory:
+        assert all(
+            math.isclose(float(a), float(b), rel_tol=1e-9, abs_tol=1e-9)
+            for a, b in zip(memory[array], reference[array])
+        ), array
+    return sim
+
+
+class TestBufferPressure:
+    def test_tiny_sync_fifos_stay_correct(self):
+        adg = topologies.softbrain()
+        for port in adg.sync_elements():
+            port.depth = 1
+        sim = run_with(adg)
+        assert sim.cycles > 0
+
+    def test_shallow_fifos_never_faster(self):
+        deep = topologies.softbrain()
+        shallow = topologies.softbrain()
+        for port in shallow.sync_elements():
+            port.depth = 1
+        cycles_deep = run_with(deep, "stencil2d", 0.1).cycles
+        cycles_shallow = run_with(shallow, "stencil2d", 0.1).cycles
+        assert cycles_shallow >= cycles_deep
+
+    def test_starved_bandwidth_slows_everything(self):
+        normal = topologies.softbrain()
+        starved = topologies.softbrain()
+        for memory in starved.memories():
+            memory.width_bytes = 8
+            memory.width = 64
+        cycles_normal = run_with(normal, "mm", 0.1).cycles
+        cycles_starved = run_with(starved, "mm", 0.1).cycles
+        assert cycles_starved > cycles_normal
+
+    def test_single_bank_serializes_indirect(self):
+        wide = topologies.spu()
+        narrow = topologies.spu()
+        narrow.scratchpad().banks = 1
+        narrow.scratchpad().atomic_update = False
+        # Compile for each hardware separately (the compiler adapts:
+        # without atomic banks, histogram falls back).
+        cycles_wide = run_with(wide, "histogram", 0.05).cycles
+        cycles_narrow = run_with(narrow, "histogram", 0.05).cycles
+        assert cycles_wide < cycles_narrow
+
+    def test_config_time_dominates_tiny_kernels(self):
+        adg = topologies.softbrain()
+        quick = run_with(adg, "pool", 0.05, config_cycles=1).cycles
+        slow = run_with(adg, "pool", 0.05, config_cycles=10_000).cycles
+        assert slow > 10_000
+        assert quick < 1_000
+
+
+class TestFeatureToggles:
+    def test_coalescing_speeds_up_fft(self):
+        plain = topologies.softbrain()
+        fast = topologies.softbrain()
+        for memory in fast.memories():
+            memory.coalescing = True
+        cycles_plain = run_with(plain, "fft", 0.05).cycles
+        cycles_fast = run_with(fast, "fft", 0.05).cycles
+        assert cycles_fast < cycles_plain
+
+    def test_coalescing_neutral_for_unit_stride(self):
+        plain = topologies.softbrain()
+        fast = topologies.softbrain()
+        for memory in fast.memories():
+            memory.coalescing = True
+        cycles_plain = run_with(plain, "pool", 0.05).cycles
+        cycles_fast = run_with(fast, "pool", 0.05).cycles
+        assert abs(cycles_fast - cycles_plain) <= cycles_plain * 0.1

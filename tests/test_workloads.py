@@ -1,0 +1,202 @@
+"""Functional-correctness tests for every workload.
+
+The canonical contract: for every kernel and every buildable variant,
+executing the decoupled-dataflow program must reproduce the reference
+(plain Python) semantics exactly (small integer-valued data keeps
+floating-point reassociation exact; fft is checked with tolerance).
+"""
+
+import copy
+import math
+
+import pytest
+
+from repro.compiler.kernel import VariantParams
+from repro.errors import CompilationError, IrError
+from repro.ir import execute_scope
+from repro.workloads import (
+    WORKLOAD_DOMAINS,
+    all_kernels,
+    kernel,
+    kernels_in_domain,
+    workload_names,
+)
+from repro.workloads.spec import PAPER_SIZES, scaled_size
+
+SCALE = 0.1
+
+
+def assert_memories_match(kernel_name, got, expected, tolerance=1e-9):
+    for array in expected:
+        for index, (a, b) in enumerate(zip(got[array], expected[array])):
+            assert math.isclose(float(a), float(b), rel_tol=tolerance,
+                                abs_tol=tolerance), (
+                f"{kernel_name}: {array}[{index}] = {a}, expected {b}"
+            )
+
+
+def check_variant(workload, params):
+    memory = workload.make_memory()
+    reference = copy.deepcopy(memory)
+    scope = workload.build(params)
+    scope.bind_constants(memory)
+    execute_scope(scope, memory)
+    workload.reference(reference)
+    assert_memories_match(workload.name, memory, reference)
+
+
+class TestRegistry:
+    def test_all_table1_workloads_registered(self):
+        names = set(workload_names())
+        for domain in ("machsuite", "sparse", "dsp", "polybench"):
+            assert set(WORKLOAD_DOMAINS[domain]) <= names
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            kernel("warp_drive")
+
+    def test_domains_partition(self):
+        seen = []
+        for names in WORKLOAD_DOMAINS.values():
+            seen.extend(names)
+        assert len(seen) == len(set(seen))
+
+    def test_scaled_size_shrinks(self):
+        paper = PAPER_SIZES["mm"]["n"]
+        assert scaled_size("mm", 0.25)["n"] < paper
+        assert scaled_size("mm", 1.0)["n"] == paper
+
+    def test_kernels_in_domain(self):
+        dsp = kernels_in_domain("dsp", scale=SCALE)
+        assert {k.name for k in dsp} == {"qr", "chol", "fft"}
+
+
+@pytest.mark.parametrize("name", sorted(workload_names()))
+class TestFunctionalCorrectness:
+    def test_fallback_variant(self, name):
+        workload = kernel(name, SCALE)
+        check_variant(workload, workload.fallback_params())
+
+    def test_most_aggressive_variant(self, name):
+        workload = kernel(name, SCALE)
+        buildable = [params for params, _ in workload.variants(None)]
+        check_variant(workload, buildable[-1])
+
+
+class TestVariantSweeps:
+    @pytest.mark.parametrize("unroll", [1, 2, 4])
+    def test_gemm_unrolls(self, unroll):
+        check_variant(kernel("mm", 0.05), VariantParams(unroll=unroll))
+
+    def test_histogram_all_feature_combos(self):
+        workload = kernel("histogram", 0.05)
+        for params in workload.space.enumerate(None):
+            check_variant(workload, params)
+
+    def test_join_both_forms_agree(self):
+        workload = kernel("join", 0.05)
+        results = []
+        for use_join in (True, False):
+            memory = workload.make_memory()
+            scope = workload.build(VariantParams(use_join=use_join))
+            execute_scope(scope, memory)
+            results.append(list(memory["OUT"]))
+        assert results[0] == results[1]
+
+    def test_md_indirect_and_fallback_agree(self):
+        workload = kernel("md", 0.05)
+        outs = []
+        for use_indirect in (True, False):
+            memory = workload.make_memory()
+            scope = workload.build(
+                VariantParams(unroll=2, use_indirect=use_indirect)
+            )
+            scope.bind_constants(memory)
+            execute_scope(scope, memory)
+            outs.append(list(memory["F"]))
+        assert outs[0] == outs[1]
+
+    def test_indivisible_unroll_rejected(self):
+        workload = kernel("md", 0.05)
+        with pytest.raises(CompilationError):
+            workload.build(VariantParams(unroll=3))
+
+
+class TestWorkloadStructure:
+    def test_every_kernel_has_reference_and_memory(self):
+        for workload in all_kernels(scale=0.05):
+            assert callable(workload.reference)
+            memory = workload.make_memory()
+            assert memory and all(
+                len(values) > 0 for values in memory.values()
+            )
+
+    def test_scopes_validate(self):
+        for workload in all_kernels(scale=0.05):
+            scope = workload.build(workload.fallback_params())
+            scope.validate()
+
+    def test_sparse_kernels_expose_feature_dimensions(self):
+        assert kernel("histogram", SCALE).space.has_atomic
+        assert kernel("join", SCALE).space.has_join
+        assert kernel("md", SCALE).space.has_indirect
+        assert not kernel("pb_mm", SCALE).space.has_join
+
+    def test_chol_streams_are_inductive(self):
+        scope = kernel("chol", SCALE).build(VariantParams())
+        update = scope.region("chol_u")
+        from repro.ir.region import as_stream_list
+
+        inductive = [
+            s for binding in update.input_streams.values()
+            for s in as_stream_list(binding)
+            if getattr(s, "length_stretch", 0)
+        ]
+        assert inductive, "chol must exercise the inductive controller"
+
+    def test_fft_volume_conservation(self):
+        workload = kernel("fft", 0.05)
+        scope = workload.build(VariantParams())
+        region = scope.regions[0]
+        # In-place: total read volume equals total write volume per port
+        # pair, and covers log2(n) full passes over half the data.
+        from repro.ir.region import as_stream_list
+
+        read_volume = sum(
+            s.volume() for s in as_stream_list(region.input_streams["ar"])
+        )
+        write_volume = sum(
+            s.volume()
+            for s in as_stream_list(region.output_streams["ar_o"])
+        )
+        assert read_volume == write_volume
+
+    def test_frequency_kernels_marked(self):
+        scope = kernel("qr", SCALE).build(VariantParams())
+        assert all(region.frequency > 1 for region in scope.regions)
+
+    def test_resparsify_outputs_compacting(self):
+        scope = kernel("resparsify", 0.05).build(VariantParams())
+        region = scope.regions[0]
+        assert all(
+            getattr(stream, "compacting", False)
+            for stream in region.output_streams.values()
+        )
+
+    def test_region_instance_counts_consistent(self):
+        for workload in all_kernels(scale=0.05):
+            scope = workload.build(workload.fallback_params())
+            for region in scope.regions:
+                count = region.instance_count()
+                assert count >= 0
+
+
+class TestMemoryDeterminism:
+    def test_make_memory_reproducible(self):
+        workload = kernel("stencil2d", 0.05)
+        assert workload.make_memory() == workload.make_memory()
+
+    def test_different_kernels_different_data(self):
+        mm = kernel("mm", 0.05).make_memory()
+        pb = kernel("pb_mm", 0.05).make_memory()
+        assert mm["A"] != pb["A"]
