@@ -135,18 +135,28 @@ def cmd_compile(args):
 
 def cmd_dse(args):
     from repro.dse import DesignSpaceExplorer
+    from repro.harness.report import print_telemetry_summary
+    from repro.utils.telemetry import Telemetry
     from repro.workloads import kernel as make_kernel
 
     names = [n.strip() for n in args.workloads.split(",") if n.strip()]
     kernels = [make_kernel(name, args.scale) for name in names]
     initial = _target_adg(args.initial)
-    explorer = DesignSpaceExplorer(
-        kernels, initial,
-        rng=DeterministicRng(args.seed),
-        sched_iters=args.sched_iters,
-        area_budget_mm2=args.area_budget,
-    )
-    result = explorer.run(max_iters=args.iters)
+    try:
+        telemetry = Telemetry(jsonl_path=args.telemetry_out)
+    except OSError as exc:
+        raise SystemExit(f"cannot open --telemetry-out: {exc}")
+    with telemetry:
+        explorer = DesignSpaceExplorer(
+            kernels, initial,
+            rng=DeterministicRng(args.seed),
+            sched_iters=args.sched_iters,
+            area_budget_mm2=args.area_budget,
+            workers=args.workers,
+            batch=args.batch,
+            telemetry=telemetry,
+        )
+        result = explorer.run(max_iters=args.iters)
     for entry in result.history:
         if entry.accepted:
             print(f"iter {entry.iteration:3d}: area {entry.area_mm2:.3f} "
@@ -154,6 +164,9 @@ def cmd_dse(args):
                   f"[{entry.mutations[0] if entry.mutations else ''}]")
     print(f"area saving {result.area_saving()*100:.0f}%  "
           f"objective x{result.objective_improvement():.2f}")
+    print_telemetry_summary(result.telemetry)
+    if args.telemetry_out:
+        print(f"wrote {args.telemetry_out}")
     if args.out:
         save_adg(result.best_adg, args.out)
         print(f"wrote {args.out}")
@@ -253,6 +266,14 @@ def build_parser():
     dse_parser.add_argument("--sched-iters", type=int, default=60)
     dse_parser.add_argument("--area-budget", type=float, default=10.0)
     dse_parser.add_argument("--seed", type=int, default=0)
+    dse_parser.add_argument("--workers", type=int, default=1,
+                            help="candidate-evaluation processes "
+                                 "(1 = serial; same seed, same result)")
+    dse_parser.add_argument("--batch", type=int, default=None,
+                            help="candidates per generation "
+                                 "(default: --workers)")
+    dse_parser.add_argument("--telemetry-out", default=None,
+                            help="write a JSONL run log here")
     dse_parser.add_argument("--out", default=None,
                             help="write the best design as JSON")
 

@@ -7,9 +7,10 @@
   outputs).
 * :mod:`repro.dse.objective` — the perf^2/mm^2 co-design objective with
   hard area/power budgets.
-* :mod:`repro.dse.explorer` — the iterative loop: mutate, repair every
-  kernel's schedule on the new hardware (Section V-A), estimate, accept
-  on improvement.
+* :mod:`repro.dse.explorer` — the generational loop: mutate a batch of
+  candidates, repair every kernel's schedule on each new hardware
+  (Section V-A), estimate — optionally across a process pool with a
+  seed-deterministic trajectory — and accept the best improvement.
 """
 
 from repro.dse.mutation import MUTATIONS, AdgMutator

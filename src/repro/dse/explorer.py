@@ -1,28 +1,53 @@
-"""The iterative co-design loop (Section V).
+"""The iterative co-design loop (Section V), generational and parallel.
 
-Each step clones the incumbent ADG, applies random mutations, *repairs*
-every kernel's schedule on the new hardware (Section V-A — the key
-speedup over remapping from scratch, evaluated in Figure 11), estimates
-performance/area/power with the analytical models, and accepts the
-candidate when the perf^2/mm^2 objective improves.
+Each generation clones the incumbent ADG into a batch of ``batch``
+mutated candidates, evaluates every candidate (repair every kernel's
+schedule on the new hardware — Section V-A, the key speedup over
+remapping from scratch, evaluated in Figure 11 — then estimate
+performance/area/power with the analytical models), and accepts the best
+candidate whose perf^2/mm^2 objective improves on the incumbent.
+
+Candidate evaluation is embarrassingly parallel and runs across a
+``concurrent.futures.ProcessPoolExecutor`` when ``workers > 1``. Two
+properties make ``workers=N`` bit-identical to ``workers=1``:
+
+* every candidate draws randomness from a child seed derived *by key*
+  — ``rng.spawn(iteration, candidate_idx)`` — never from a shared
+  stateful stream, so evaluation order cannot perturb the trajectory;
+* acceptance ranks the gathered batch in candidate-index order with a
+  strict-improvement tie-break, so completion order is irrelevant.
+
+Worker processes are created with the ``fork`` start method and inherit
+the (unpicklable, closure-carrying) kernel set from the parent; only the
+candidate ADG and warm schedules cross the process boundary. When
+``workers=1``, ``fork`` is unavailable, or the pool breaks, evaluation
+falls back to in-process serial execution of the same pure function.
+
+Every stage (mutate / estimate / compile) is wrapped in
+:class:`repro.utils.telemetry.Telemetry` timers and counters, and each
+generation can be appended to a JSONL run log.
 """
 
 import math
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.compiler.pipeline import compile_kernel
 from repro.dse.mutation import AdgMutator, trim_unused_features
 from repro.dse.objective import DseObjective
-from repro.errors import CompilationError, DseError
+from repro.errors import CompilationError, DsagenError, DseError
 from repro.estimation.perf_model import PerformanceModel
 from repro.estimation.power_area import default_model
 from repro.scheduler.repair import strip_invalid
 from repro.utils.rng import DeterministicRng
+from repro.utils.telemetry import Telemetry
 
 
 @dataclass
 class DseHistoryEntry:
-    """One explorer step, as plotted in Figure 14."""
+    """One evaluated candidate, as plotted in Figure 14."""
 
     iteration: int
     area_mm2: float
@@ -31,6 +56,7 @@ class DseHistoryEntry:
     objective: float
     accepted: bool
     mutations: list = field(default_factory=list)
+    candidate: int = 0
 
 
 @dataclass
@@ -43,6 +69,7 @@ class DseResult:
     kernel_results: dict = field(default_factory=dict)
     initial_area: float = 0.0
     initial_power: float = 0.0
+    telemetry: dict = field(default_factory=dict)
 
     @property
     def final_area(self):
@@ -53,6 +80,10 @@ class DseResult:
     def final_power(self):
         accepted = [h for h in self.history if h.accepted]
         return accepted[-1].power_mw if accepted else self.initial_power
+
+    @property
+    def candidates_per_sec(self):
+        return self.telemetry.get("candidates_per_sec", 0.0)
 
     def area_saving(self):
         if self.initial_area <= 0:
@@ -68,8 +99,156 @@ class DseResult:
         return self.best_objective / baseline
 
 
+# ---------------------------------------------------------------------------
+# Candidate evaluation: a pure function of its inputs, so the serial path
+# and the process-pool path are interchangeable.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EvalContext:
+    """Run-constant evaluation state, inherited by forked workers."""
+
+    kernels: list
+    sched_iters: int
+    use_repair: bool
+    area_power: object
+    perf_model: object
+    area_budget_mm2: float
+    power_budget_mw: float
+
+
+@dataclass
+class CandidateTask:
+    """One candidate shipped to a worker (ADG + warm schedules + seed)."""
+
+    index: int
+    iteration: int
+    adg: object
+    warm_schedules: dict
+    seed: object
+    budget: int = None
+
+
+@dataclass
+class CandidateOutcome:
+    """What a worker sends back: estimates, schedules, and telemetry."""
+
+    index: int
+    iteration: int
+    ok: bool
+    area: float = 0.0
+    power: float = 0.0
+    cycles: dict = field(default_factory=dict)
+    results: dict = field(default_factory=dict)
+    schedules: dict = field(default_factory=dict)
+    reason: str = ""
+    stage_seconds: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+
+
+#: Module global read by pool workers; set by :meth:`run` immediately
+#: before the (fork-started) pool is created so children inherit it.
+_EVAL_CONTEXT = None
+
+
+def _compile_kernels(context, adg, rng, warm_schedules=None, budget=None):
+    """Compile every kernel; returns (results, cycles, schedules, counters).
+
+    ``warm_schedules`` maps kernel name -> {params: schedule} from the
+    incumbent design; with repair enabled, stale state is stripped and
+    the search resumes from the survivor (Section V-A) instead of
+    remapping from scratch.
+    """
+    results = {}
+    cycles = {}
+    schedules = {}
+    counters = {"schedule_repairs": 0, "full_remaps": 0}
+    for kernel in context.kernels:
+        initial = None
+        if context.use_repair and warm_schedules:
+            initial = {}
+            for params, schedule in warm_schedules.get(
+                kernel.name, {}
+            ).items():
+                clone = schedule.clone()
+                strip_invalid(clone, adg)
+                initial[params] = clone
+        if initial:
+            counters["schedule_repairs"] += 1
+        else:
+            counters["full_remaps"] += 1
+        try:
+            result = compile_kernel(
+                kernel, adg,
+                rng=rng.fork(f"sched-{kernel.name}"),
+                max_iters=budget or context.sched_iters,
+                initial_schedules=initial,
+            )
+        except CompilationError:
+            return None, {}, {}, counters
+        if not result.ok:
+            return None, {}, {}, counters
+        results[kernel.name] = result
+        cycles[kernel.name] = result.perf.cycles
+        schedules[kernel.name] = {result.params: result.schedule}
+    return results, cycles, schedules, counters
+
+
+def _evaluate_candidate(task, context=None):
+    """Estimate + compile one candidate. Pure in (task, context).
+
+    Used directly on the serial path and as the pool target (where
+    ``context`` comes from the fork-inherited module global). All
+    framework errors are folded into a failed outcome so one bad
+    candidate never aborts its generation.
+    """
+    ctx = context if context is not None else _EVAL_CONTEXT
+    stage = {}
+    counters = {"candidates_evaluated": 1}
+    start = time.perf_counter()
+    area, power = ctx.area_power.estimate(task.adg)
+    stage["estimate"] = time.perf_counter() - start
+    if area > ctx.area_budget_mm2 or power > ctx.power_budget_mw:
+        counters["candidates_over_budget"] = 1
+        return CandidateOutcome(
+            index=task.index, iteration=task.iteration, ok=False,
+            area=area, power=power, reason="over-budget",
+            stage_seconds=stage, counters=counters,
+        )
+    rng = DeterministicRng(task.seed)
+    start = time.perf_counter()
+    try:
+        results, cycles, schedules, compile_counters = _compile_kernels(
+            ctx, task.adg, rng,
+            warm_schedules=task.warm_schedules, budget=task.budget,
+        )
+    except DsagenError as exc:
+        stage["compile"] = time.perf_counter() - start
+        counters["candidates_failed"] = 1
+        return CandidateOutcome(
+            index=task.index, iteration=task.iteration, ok=False,
+            area=area, power=power, reason=f"error: {exc}",
+            stage_seconds=stage, counters=counters,
+        )
+    stage["compile"] = time.perf_counter() - start
+    for name, amount in compile_counters.items():
+        counters[name] = counters.get(name, 0) + amount
+    if results is None:
+        counters["candidates_failed"] = 1
+        return CandidateOutcome(
+            index=task.index, iteration=task.iteration, ok=False,
+            area=area, power=power, reason="no-legal-mapping",
+            stage_seconds=stage, counters=counters,
+        )
+    return CandidateOutcome(
+        index=task.index, iteration=task.iteration, ok=True,
+        area=area, power=power, cycles=cycles, results=results,
+        schedules=schedules, stage_seconds=stage, counters=counters,
+    )
+
+
 class DesignSpaceExplorer:
-    """Hardware/software co-design via iterative graph search."""
+    """Hardware/software co-design via generational graph search."""
 
     def __init__(
         self,
@@ -83,6 +262,9 @@ class DesignSpaceExplorer:
         use_repair=True,
         area_power_model=None,
         perf_model=None,
+        workers=1,
+        batch=None,
+        telemetry=None,
     ):
         self.kernels = list(kernels)
         self.initial_adg = initial_adg
@@ -99,63 +281,91 @@ class DesignSpaceExplorer:
             area_budget_mm2=area_budget_mm2,
             power_budget_mw=power_budget_mw,
         )
+        self.workers = max(1, int(workers))
+        self.batch = batch
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
 
     # ------------------------------------------------------------------
-    def _compile_all(self, adg, warm_schedules=None, budget=None):
-        """Compile every kernel; returns (results, cycles, schedules).
-
-        ``warm_schedules`` maps kernel name -> {params: schedule} from the
-        incumbent design; with repair enabled, stale state is stripped
-        and the search resumes from the survivor (Section V-A).
-        """
-        results = {}
-        cycles = {}
-        schedules = {}
-        for kernel in self.kernels:
-            initial = None
-            if self.use_repair and warm_schedules:
-                initial = {}
-                for params, schedule in warm_schedules.get(
-                    kernel.name, {}
-                ).items():
-                    clone = schedule.clone()
-                    strip_invalid(clone, adg)
-                    initial[params] = clone
-            try:
-                result = compile_kernel(
-                    kernel, adg,
-                    rng=self.rng.fork(f"sched-{kernel.name}"),
-                    max_iters=budget or self.sched_iters,
-                    initial_schedules=initial,
-                )
-            except CompilationError:
-                return None, {}, {}
-            if not result.ok:
-                return None, {}, {}
-            results[kernel.name] = result
-            cycles[kernel.name] = result.perf.cycles
-            schedules[kernel.name] = {result.params: result.schedule}
-        return results, cycles, schedules
-
-    def _estimate_hw(self, adg):
-        return self.area_power.estimate(adg)
-
-    # ------------------------------------------------------------------
-    def run(self, max_iters=50, patience=None, mutations_per_step=None):
-        """Explore for up to ``max_iters`` steps.
-
-        ``patience`` stops after that many steps without improvement
-        (the paper exits after 750). Returns a :class:`DseResult`.
-        """
-        patience = patience if patience is not None else max_iters
-        best_adg = self.initial_adg.clone()
-        results, cycles, schedules = self._compile_all(
-            best_adg, budget=self.initial_sched_iters
+    def _context(self):
+        return EvalContext(
+            kernels=self.kernels,
+            sched_iters=self.sched_iters,
+            use_repair=self.use_repair,
+            area_power=self.area_power,
+            perf_model=self.perf_model,
+            area_budget_mm2=self.objective.area_budget_mm2,
+            power_budget_mw=self.objective.power_budget_mw,
         )
+
+    def _make_pool(self, workers):
+        """A fork-context pool (workers inherit the kernel closures), or
+        None when parallelism is unavailable."""
+        if workers <= 1:
+            return None
+        if "fork" not in multiprocessing.get_all_start_methods():
+            self.telemetry.incr("pool_unavailable")
+            return None
+        try:
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        except OSError:
+            self.telemetry.incr("pool_unavailable")
+            return None
+
+    def _evaluate_batch(self, tasks, pool, context):
+        """Evaluate tasks, returning outcomes in candidate-index order.
+
+        Pool failures degrade to the serial path per candidate; the
+        generation always completes.
+        """
+        if pool is None:
+            return [_evaluate_candidate(task, context) for task in tasks]
+        futures = [
+            (task, pool.submit(_evaluate_candidate, task))
+            for task in tasks
+        ]
+        outcomes = []
+        for task, future in futures:
+            try:
+                outcomes.append(future.result())
+            except Exception:
+                # Broken pool / unpicklable payload: re-run in process.
+                self.telemetry.incr("worker_errors")
+                outcomes.append(_evaluate_candidate(task, context))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def run(self, max_iters=50, patience=None, mutations_per_step=None,
+            workers=None, batch=None):
+        """Explore for up to ``max_iters`` generations.
+
+        ``patience`` stops after that many generations without
+        improvement (the paper exits after 750). ``workers`` (processes)
+        and ``batch`` (candidates per generation, default ``workers``)
+        override the constructor settings. With a fixed seed the
+        trajectory is identical for any ``workers`` at equal ``batch``.
+        Returns a :class:`DseResult`.
+        """
+        workers = self.workers if workers is None else max(1, int(workers))
+        batch = batch if batch is not None else self.batch
+        batch = max(1, int(batch)) if batch is not None else max(1, workers)
+        patience = patience if patience is not None else max_iters
+        telemetry = self.telemetry
+        run_start = time.perf_counter()
+
+        best_adg = self.initial_adg.clone()
+        context = self._context()
+        with telemetry.timer("initial_compile"):
+            results, cycles, schedules, _ = _compile_kernels(
+                context, best_adg, self.rng,
+                budget=self.initial_sched_iters,
+            )
         if results is None:
             raise DseError("initial hardware cannot host the kernel set")
         self.objective.set_baseline(cycles)
-        area, power = self._estimate_hw(best_adg)
+        area, power = self.area_power.estimate(best_adg)
         best_score = self.objective.score(cycles, area, power)
         result = DseResult(
             best_adg=best_adg,
@@ -169,82 +379,150 @@ class DesignSpaceExplorer:
             performance=1.0, objective=best_score, accepted=True,
             mutations=["initial"],
         ))
+        telemetry.event({
+            "type": "initial", "area_mm2": area, "power_mw": power,
+            "objective": best_score, "workers": workers, "batch": batch,
+        })
 
-        # Iteration 1: the paper's cleanup step — drop features no
-        # schedule uses (Figure 14's early area drop).
-        trimmed = best_adg.clone()
-        if trim_unused_features(
-            trimmed, [s for m in schedules.values() for s in m.values()]
-        ):
-            candidate = self._evaluate(
-                trimmed, schedules, 1, result, best_score
-            )
-            if candidate is not None:
-                best_adg, best_score, cycles, schedules, results = candidate
+        global _EVAL_CONTEXT
+        _EVAL_CONTEXT = context
+        pool = self._make_pool(workers)
+        try:
+            # Iteration 1: the paper's cleanup step — drop features no
+            # schedule uses (Figure 14's early area drop).
+            trimmed = best_adg.clone()
+            if trim_unused_features(
+                trimmed, [s for m in schedules.values() for s in m.values()]
+            ):
+                accepted = self._run_generation(
+                    [(trimmed, ["trim"])], schedules, 1, result,
+                    best_score, pool, context,
+                )
+                if accepted is not None:
+                    best_adg, best_score, cycles, schedules = accepted
+                    result.best_adg = best_adg
+                    result.best_objective = best_score
+
+            stale = 0
+            for iteration in range(2, max_iters + 2):
+                if stale >= patience:
+                    break
+                candidates = []
+                with telemetry.timer("mutate"):
+                    for idx in range(batch):
+                        mutator = AdgMutator(
+                            self.rng.spawn("mutate", iteration, idx)
+                        )
+                        try:
+                            mutated, descriptions = mutator.mutate(
+                                best_adg, count=mutations_per_step
+                            )
+                        except DseError:
+                            telemetry.incr("mutations_failed")
+                            continue
+                        candidates.append((mutated, descriptions))
+                if not candidates:
+                    stale += 1
+                    continue
+                accepted = self._run_generation(
+                    candidates, schedules, iteration, result,
+                    best_score, pool, context,
+                )
+                if accepted is None:
+                    stale += 1
+                    continue
+                best_adg, best_score, cycles, schedules = accepted
                 result.best_adg = best_adg
                 result.best_objective = best_score
-                result.kernel_results = results
+                stale = 0
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+            _EVAL_CONTEXT = None
 
-        stale = 0
-        for iteration in range(2, max_iters + 2):
-            if stale >= patience:
-                break
-            try:
-                mutated, descriptions = self.mutator.mutate(
-                    best_adg, count=mutations_per_step
-                )
-            except DseError:
-                stale += 1
-                continue
-            candidate = self._evaluate(
-                mutated, schedules, iteration, result, best_score,
-                descriptions,
-            )
-            if candidate is None:
-                stale += 1
-                continue
-            best_adg, best_score, cycles, schedules, results = candidate
-            result.best_adg = best_adg
-            result.best_objective = best_score
-            result.kernel_results = results
-            stale = 0
+        wall = time.perf_counter() - run_start
+        evaluated = telemetry.counters.get("candidates_evaluated", 0)
+        summary = telemetry.summary()
+        summary.update({
+            "wall_seconds": wall,
+            "workers": workers,
+            "batch": batch,
+            "candidates_per_sec": evaluated / wall if wall > 0 else 0.0,
+        })
+        result.telemetry = summary
+        telemetry.event({"type": "summary", **summary})
         return result
 
-    def _evaluate(self, candidate_adg, warm_schedules, iteration, result,
-                  best_score, descriptions=("trim",)):
-        """Schedule + estimate one candidate; record history; return the
-        new incumbent tuple when accepted."""
-        area, power = self._estimate_hw(candidate_adg)
-        if area > self.objective.area_budget_mm2 or (
-            power > self.objective.power_budget_mw
-        ):
+    # ------------------------------------------------------------------
+    def _run_generation(self, candidates, warm_schedules, iteration,
+                        result, best_score, pool, context):
+        """Evaluate one generation of (adg, descriptions) candidates.
+
+        Appends one history entry per candidate (in index order), picks
+        the best strict improvement, and returns the new incumbent tuple
+        ``(adg, score, cycles, schedules)`` — or None when the whole
+        generation is rejected.
+        """
+        telemetry = self.telemetry
+        tasks = [
+            CandidateTask(
+                index=idx, iteration=iteration, adg=adg,
+                warm_schedules=warm_schedules,
+                seed=self.rng.spawn("eval", iteration, idx).seed,
+            )
+            for idx, (adg, _descriptions) in enumerate(candidates)
+        ]
+        with telemetry.timer("evaluate"):
+            outcomes = self._evaluate_batch(tasks, pool, context)
+        winner = None
+        winner_score = best_score
+        scores = []
+        for outcome in outcomes:
+            telemetry.merge_timings({
+                f"candidate/{name}": seconds
+                for name, seconds in outcome.stage_seconds.items()
+            })
+            telemetry.merge_counters(outcome.counters)
+            if not outcome.ok:
+                scores.append(float("-inf"))
+                continue
+            score = self.objective.score(
+                outcome.cycles, outcome.area, outcome.power
+            )
+            scores.append(score)
+            if score > winner_score:  # strict: ties keep lowest index
+                winner = outcome
+                winner_score = score
+        for idx, outcome in enumerate(outcomes):
+            accepted = winner is not None and outcome.index == winner.index
+            performance = (
+                self.objective.aggregate_performance(outcome.cycles)
+                if outcome.ok else 0.0
+            )
+            if not accepted:
+                telemetry.incr("candidates_rejected")
             result.history.append(DseHistoryEntry(
-                iteration=iteration, area_mm2=area, power_mw=power,
-                performance=0.0, objective=float("-inf"), accepted=False,
-                mutations=list(descriptions),
+                iteration=iteration, area_mm2=outcome.area,
+                power_mw=outcome.power, performance=performance,
+                objective=scores[idx], accepted=accepted,
+                mutations=list(candidates[idx][1]),
+                candidate=outcome.index,
             ))
+        telemetry.event({
+            "type": "generation",
+            "iteration": iteration,
+            "candidates": len(outcomes),
+            "accepted_candidate": winner.index if winner else None,
+            "best_objective": winner_score,
+            "objectives": [
+                s if s != float("-inf") else None for s in scores
+            ],
+        })
+        if winner is None:
             return None
-        results, cycles, schedules = self._compile_all(
-            candidate_adg, warm_schedules
-        )
-        if results is None:
-            result.history.append(DseHistoryEntry(
-                iteration=iteration, area_mm2=area, power_mw=power,
-                performance=0.0, objective=float("-inf"), accepted=False,
-                mutations=list(descriptions),
-            ))
-            return None
-        performance = self.objective.aggregate_performance(cycles)
-        score = self.objective.score(cycles, area, power)
-        accepted = score > best_score
-        result.history.append(DseHistoryEntry(
-            iteration=iteration, area_mm2=area, power_mw=power,
-            performance=performance, objective=score, accepted=accepted,
-            mutations=list(descriptions),
-        ))
-        if not accepted:
-            return None
-        return candidate_adg, score, cycles, schedules, results
+        adg = candidates[winner.index][0]
+        result.kernel_results = winner.results
+        return adg, winner_score, winner.cycles, winner.schedules
 
 
 def geomean(values):

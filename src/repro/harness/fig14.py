@@ -9,6 +9,7 @@ the initial hardware.
 from repro.adg import topologies
 from repro.dse import DesignSpaceExplorer
 from repro.utils.rng import DeterministicRng
+from repro.utils.telemetry import Telemetry
 from repro.workloads import kernel as make_kernel
 
 DEFAULT_SETS = {
@@ -19,24 +20,43 @@ DEFAULT_SETS = {
 
 
 def run(workload_sets=None, scale=0.05, dse_iters=15, sched_iters=50,
-        seed=0):
-    """Returns ``(rows, summary)``: one row per DSE iteration per set."""
+        seed=0, workers=1, batch=None, telemetry_out=None):
+    """Returns ``(rows, summary)``: one row per evaluated candidate per
+    set. ``workers``/``batch`` parallelize candidate evaluation (the
+    trajectory stays seed-deterministic); ``telemetry_out`` appends the
+    JSONL run log of every set's exploration."""
     workload_sets = workload_sets or DEFAULT_SETS
     rows = []
     per_set = {}
+    throughput = {"wall_seconds": 0.0, "candidates_evaluated": 0}
+    telemetry = Telemetry(jsonl_path=telemetry_out)
     for set_name, names in workload_sets.items():
         kernels = [make_kernel(name, scale) for name in names]
+        telemetry.event({"type": "set", "set": set_name,
+                         "workloads": list(names)})
         explorer = DesignSpaceExplorer(
             kernels,
             topologies.dse_initial(),
             rng=DeterministicRng(("fig14", set_name, seed)),
             sched_iters=sched_iters,
+            workers=workers,
+            batch=batch,
+            telemetry=telemetry,
+        )
+        evaluated_before = telemetry.counters.get(
+            "candidates_evaluated", 0
         )
         result = explorer.run(max_iters=dse_iters)
+        throughput["wall_seconds"] += result.telemetry["wall_seconds"]
+        throughput["candidates_evaluated"] += (
+            telemetry.counters.get("candidates_evaluated", 0)
+            - evaluated_before
+        )
         for entry in result.history:
             rows.append({
                 "set": set_name,
                 "iteration": entry.iteration,
+                "candidate": entry.candidate,
                 "area_mm2": entry.area_mm2,
                 "power_mw": entry.power_mw,
                 "objective": (
@@ -51,13 +71,25 @@ def run(workload_sets=None, scale=0.05, dse_iters=15, sched_iters=50,
             "final_area": result.final_area,
             "initial_area": result.initial_area,
         }
+    telemetry.close()
     savings = [v["area_saving"] for v in per_set.values()]
     improvements = [v["objective_improvement"] for v in per_set.values()]
+    wall = throughput["wall_seconds"]
     summary = {
         "per_set": per_set,
         "mean_area_saving": sum(savings) / len(savings),
         "mean_objective_improvement": (
             sum(improvements) / len(improvements)
         ),
+        "throughput": {
+            "workers": workers,
+            "wall_seconds": wall,
+            "candidates_evaluated": throughput["candidates_evaluated"],
+            "candidates_per_sec": (
+                throughput["candidates_evaluated"] / wall
+                if wall > 0 else 0.0
+            ),
+        },
+        "counters": dict(telemetry.counters),
     }
     return rows, summary

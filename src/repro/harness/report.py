@@ -32,3 +32,39 @@ def format_table(rows, columns=None, title=None):
 
 def print_table(rows, columns=None, title=None):
     print(format_table(rows, columns, title))
+
+
+def format_telemetry_summary(summary):
+    """Render a DSE telemetry summary (throughput, counters, stage
+    timings) as aligned text. Tolerates partial summaries."""
+    if not summary:
+        return "telemetry: (none)"
+    lines = []
+    wall = summary.get("wall_seconds")
+    if wall is not None:
+        lines.append(
+            f"wall {wall:.2f}s  workers {summary.get('workers', 1)}  "
+            f"batch {summary.get('batch', 1)}  "
+            f"throughput {summary.get('candidates_per_sec', 0.0):.2f} "
+            "candidates/sec"
+        )
+    counters = summary.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name.ljust(width)}  {value}")
+    timings = summary.get("timings", {})
+    if timings:
+        lines.append("stage timings:")
+        width = max(len(name) for name in timings)
+        for name, slot in sorted(timings.items()):
+            lines.append(
+                f"  {name.ljust(width)}  {slot['seconds']:8.3f}s  "
+                f"x{slot['count']}"
+            )
+    return "\n".join(lines) if lines else "telemetry: (empty)"
+
+
+def print_telemetry_summary(summary):
+    print(format_telemetry_summary(summary))

@@ -1,4 +1,5 @@
-"""Small shared utilities: bit-width math, deterministic RNG, id allocation."""
+"""Small shared utilities: bit-width math, deterministic RNG, id
+allocation, run telemetry."""
 
 from repro.utils.bits import (
     bits_for_value,
@@ -9,6 +10,7 @@ from repro.utils.bits import (
 )
 from repro.utils.rng import DeterministicRng
 from repro.utils.ids import IdAllocator
+from repro.utils.telemetry import Telemetry
 
 __all__ = [
     "bits_for_value",
@@ -18,4 +20,5 @@ __all__ = [
     "next_power_of_two",
     "DeterministicRng",
     "IdAllocator",
+    "Telemetry",
 ]

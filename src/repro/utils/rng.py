@@ -34,6 +34,30 @@ class DeterministicRng:
         """
         return DeterministicRng(f"{self.seed}/{label}")
 
+    def spawn(self, *key):
+        """Return a child RNG keyed by ``key`` without consuming state.
+
+        The child's seed is a pure function of ``(self.seed, key)``: the
+        same parent seed and key always produce the same stream, in any
+        process, no matter how many draws the parent (or any sibling) has
+        made. The parallel DSE explorer uses this to hand every candidate
+        of every generation — ``rng.spawn(iteration, candidate_idx)`` — a
+        seed that is identical whether candidates are evaluated serially
+        or across a process pool.
+        """
+        if not key:
+            raise ValueError("spawn requires at least one key component")
+        parts = []
+        for component in key:
+            if isinstance(component, (int, str, bytes)):
+                parts.append(repr(component))
+            else:
+                raise TypeError(
+                    "spawn keys must be int, str, or bytes; got "
+                    f"{type(component).__name__}"
+                )
+        return DeterministicRng(f"{self.seed}::" + "::".join(parts))
+
     def random(self):
         """Uniform float in [0, 1)."""
         return self._random.random()

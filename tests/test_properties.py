@@ -8,12 +8,15 @@ address algebra must match its definition.
 """
 
 import math
+from functools import lru_cache
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.adg import adg_from_dict, adg_to_dict, topologies
+from repro.adg import adg_from_dict, adg_to_dict, topologies, validate_adg
 from repro.adg.components import Direction, ProcessingElement, Switch
+from repro.dse.mutation import AdgMutator, trim_unused_features
+from repro.errors import DseError
 from repro.ir import ConfigScope, Dfg, LinearStream, OffloadRegion
 from repro.ir.stream import StreamDirection
 from repro.scheduler import SpatialScheduler
@@ -202,6 +205,93 @@ class TestStreamAlgebra:
         )
         assert stream.volume() == expected
         assert len(list(stream.addresses())) == expected
+
+
+# ---------------------------------------------------------------------------
+# DSE mutation invariants
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=1)
+def _mm_schedule():
+    """One compiled mm schedule, shared across trim properties."""
+    from repro.compiler import compile_kernel
+    from repro.workloads import kernel as make_kernel
+
+    adg = topologies.dse_initial()
+    result = compile_kernel(
+        make_kernel("mm", 0.05), adg,
+        rng=DeterministicRng(0), max_iters=80,
+    )
+    assert result.ok
+    return result.schedule
+
+
+class TestMutatorProperties:
+    @_SLOW
+    @given(seed=st.integers(0, 1_000_000), count=st.integers(1, 3))
+    def test_mutation_never_breaks_validation(self, seed, count):
+        """Whatever the seed, a successful mutate() yields an ADG that
+        passes adg/validate.py (and never touches the input)."""
+        mutator = AdgMutator(DeterministicRng(seed))
+        adg = topologies.dse_initial()
+        snapshot = adg_to_dict(adg)
+        try:
+            mutated, descriptions = mutator.mutate(adg, count=count)
+        except DseError:
+            return  # "no legal mutation found" is an allowed outcome
+        assert descriptions
+        validate_adg(mutated, strict=False)
+        assert adg_to_dict(adg) == snapshot
+
+    @_SLOW
+    @given(seed=st.integers(0, 1_000_000))
+    def test_spawned_mutation_streams_reproduce(self, seed):
+        """Key-derived child seeds (the parallel-DSE contract): two
+        mutators spawned with the same key replay the same edits."""
+        parent = DeterministicRng(seed)
+        first = AdgMutator(parent.spawn("mutate", 2, 0))
+        parent.randint(0, 1000)  # perturb the parent stream
+        second = AdgMutator(parent.spawn("mutate", 2, 0))
+        adg = topologies.dse_initial()
+        try:
+            _, edits_a = first.mutate(adg, count=2)
+        except DseError:
+            edits_a = None
+        try:
+            _, edits_b = second.mutate(adg, count=2)
+        except DseError:
+            edits_b = None
+        assert edits_a == edits_b
+
+
+class TestTrimProperties:
+    @_SLOW
+    @given(seed=st.integers(0, 10_000))
+    def test_trim_unused_features_idempotent(self, seed):
+        """Trimming an already-trimmed ADG changes nothing."""
+        adg = topologies.dse_initial()
+        mutator = AdgMutator(DeterministicRng(("trim", seed)))
+        try:
+            adg, _ = mutator.mutate(adg, count=2)
+        except DseError:
+            adg = adg.clone()
+        schedule = _mm_schedule()
+        trim_unused_features(adg, [schedule])
+        after_first = adg_to_dict(adg)
+        assert trim_unused_features(adg, [schedule]) == 0
+        assert adg_to_dict(adg) == after_first
+
+    @_SLOW
+    @given(seed=st.integers(0, 10_000))
+    def test_trim_keeps_design_valid(self, seed):
+        adg = topologies.dse_initial()
+        mutator = AdgMutator(DeterministicRng(("trimv", seed)))
+        try:
+            adg, _ = mutator.mutate(adg, count=1)
+        except DseError:
+            adg = adg.clone()
+        trim_unused_features(adg, [_mm_schedule()])
+        validate_adg(adg, strict=False)
 
 
 # ---------------------------------------------------------------------------

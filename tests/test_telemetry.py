@@ -1,0 +1,163 @@
+"""Tests for repro.utils.telemetry: nested timers, counters, JSONL."""
+
+import json
+
+from repro.utils.telemetry import Telemetry
+
+
+class FakeClock:
+    """Deterministic clock: every call advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestTimers:
+    def test_timer_accumulates(self):
+        telemetry = Telemetry(clock=FakeClock(step=1.0))
+        with telemetry.timer("compile"):
+            pass
+        with telemetry.timer("compile"):
+            pass
+        slot = telemetry.timings["compile"]
+        assert slot["count"] == 2
+        assert slot["seconds"] > 0
+
+    def test_timers_nest_into_dotted_paths(self):
+        telemetry = Telemetry(clock=FakeClock(step=0.5))
+        with telemetry.timer("generation"):
+            with telemetry.timer("estimate"):
+                pass
+            with telemetry.timer("compile"):
+                pass
+        assert "generation" in telemetry.timings
+        assert "generation/estimate" in telemetry.timings
+        assert "generation/compile" in telemetry.timings
+        assert "estimate" not in telemetry.timings
+
+    def test_parent_time_covers_children(self):
+        telemetry = Telemetry(clock=FakeClock(step=0.25))
+        with telemetry.timer("outer"):
+            with telemetry.timer("inner"):
+                pass
+        assert (
+            telemetry.total_seconds("outer")
+            >= telemetry.total_seconds("outer/inner")
+        )
+
+    def test_stack_unwinds_on_exception(self):
+        telemetry = Telemetry(clock=FakeClock())
+        try:
+            with telemetry.timer("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        # A later sibling timer must not appear nested under "boom".
+        with telemetry.timer("after"):
+            pass
+        assert "after" in telemetry.timings
+        assert "boom/after" not in telemetry.timings
+
+    def test_add_time_merges_external_durations(self):
+        telemetry = Telemetry()
+        telemetry.add_time("worker/compile", 1.5)
+        telemetry.add_time("worker/compile", 0.5, count=2)
+        slot = telemetry.timings["worker/compile"]
+        assert slot["seconds"] == 2.0
+        assert slot["count"] == 3
+
+    def test_total_seconds_default(self):
+        assert Telemetry().total_seconds("nope") == 0.0
+
+
+class TestCounters:
+    def test_incr_accumulates(self):
+        telemetry = Telemetry()
+        telemetry.incr("evaluated")
+        telemetry.incr("evaluated", 4)
+        assert telemetry.counters["evaluated"] == 5
+
+    def test_merge_counters(self):
+        telemetry = Telemetry()
+        telemetry.incr("a", 1)
+        telemetry.merge_counters({"a": 2, "b": 7})
+        assert telemetry.counters == {"a": 3, "b": 7}
+
+    def test_merge_timings(self):
+        telemetry = Telemetry()
+        telemetry.merge_timings({"x": 1.0})
+        telemetry.merge_timings({"x": 2.0})
+        assert telemetry.total_seconds("x") == 3.0
+
+
+class TestJsonlLog:
+    def test_round_trips_line_by_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Telemetry(jsonl_path=str(path)) as telemetry:
+            telemetry.event({"type": "generation", "iteration": 2,
+                             "objectives": [1.5, None]})
+            telemetry.event({"type": "summary", "counters": {"n": 3}})
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "generation"
+        assert records[0]["objectives"] == [1.5, None]
+        assert records[1]["counters"]["n"] == 3
+
+    def test_no_path_no_file(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.event({"type": "x"})
+        telemetry.close()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_nonserializable_values_stringified(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Telemetry(jsonl_path=str(path)) as telemetry:
+            telemetry.event({"weird": {1, 2}})
+        assert json.loads(path.read_text())["weird"]
+
+
+class TestDisabled:
+    def test_disabled_writes_no_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        telemetry = Telemetry(jsonl_path=str(path), enabled=False)
+        with telemetry.timer("t"):
+            telemetry.incr("c")
+            telemetry.event({"type": "x"})
+        telemetry.close()
+        assert not path.exists()
+
+    def test_disabled_records_nothing(self):
+        telemetry = Telemetry(enabled=False)
+        with telemetry.timer("t"):
+            telemetry.incr("c", 5)
+            telemetry.add_time("x", 1.0)
+            telemetry.merge_counters({"m": 1})
+        assert telemetry.timings == {}
+        assert telemetry.counters == {}
+        assert telemetry.summary() == {"timings": {}, "counters": {}}
+
+
+class TestSummary:
+    def test_summary_snapshot_is_detached(self):
+        telemetry = Telemetry(clock=FakeClock())
+        with telemetry.timer("t"):
+            pass
+        telemetry.incr("c")
+        snapshot = telemetry.summary()
+        snapshot["counters"]["c"] = 99
+        snapshot["timings"]["t"]["count"] = 99
+        assert telemetry.counters["c"] == 1
+        assert telemetry.timings["t"]["count"] == 1
+
+    def test_summary_is_json_serializable(self):
+        telemetry = Telemetry(clock=FakeClock())
+        with telemetry.timer("t"):
+            telemetry.incr("c")
+        json.dumps(telemetry.summary())

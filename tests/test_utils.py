@@ -1,5 +1,7 @@
 """Tests for repro.utils: bit math, deterministic RNG, id allocation."""
 
+import multiprocessing
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -124,6 +126,79 @@ class TestDeterministicRng:
         rng = DeterministicRng(1)
         assert all(rng.accept(1.0) for _ in range(10))
         assert not any(rng.accept(0.0) for _ in range(10))
+
+
+def _spawned_draws(payload):
+    """Module-level pool target: draws from a spawned child stream."""
+    seed, key = payload
+    child = DeterministicRng(seed).spawn(*key)
+    return [child.randint(0, 1 << 30) for _ in range(8)]
+
+
+class TestSpawn:
+    def test_same_key_same_stream(self):
+        a = DeterministicRng(42).spawn(3, 1)
+        b = DeterministicRng(42).spawn(3, 1)
+        assert [a.random() for _ in range(8)] == [
+            b.random() for _ in range(8)
+        ]
+
+    def test_spawn_does_not_consume_parent_state(self):
+        parent = DeterministicRng(7)
+        before = [parent.spawn("k", 0).random() for _ in range(3)]
+        parent.randint(0, 10**9)  # advance the parent stream
+        after = [parent.spawn("k", 0).random() for _ in range(3)]
+        assert before == after
+
+    def test_sibling_streams_are_independent(self):
+        parent = DeterministicRng(5)
+        first = parent.spawn(1, 0)
+        second = parent.spawn(1, 1)
+        draws_first = [first.randint(0, 1 << 30) for _ in range(8)]
+        # Draining one sibling must not perturb the other.
+        replay = parent.spawn(1, 0)
+        assert [replay.randint(0, 1 << 30) for _ in range(8)] == (
+            draws_first
+        )
+        assert draws_first != [
+            second.randint(0, 1 << 30) for _ in range(8)
+        ]
+
+    def test_distinct_keys_distinct_streams(self):
+        parent = DeterministicRng(0)
+        streams = {
+            tuple(parent.spawn("gen", i, j).randint(0, 1 << 30)
+                  for _ in range(4))
+            for i in range(4) for j in range(4)
+        }
+        assert len(streams) == 16
+
+    def test_spawn_differs_from_fork(self):
+        parent = DeterministicRng(9)
+        assert parent.spawn("x").random() != parent.fork("x").random()
+
+    def test_spawn_requires_key(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).spawn()
+
+    def test_spawn_rejects_unhashable_key_types(self):
+        with pytest.raises(TypeError):
+            DeterministicRng(0).spawn([1, 2])
+
+    def test_key_types_are_distinguished(self):
+        parent = DeterministicRng(0)
+        assert parent.spawn(1).random() != parent.spawn("1").random()
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="needs fork start method",
+    )
+    def test_child_streams_reproduce_across_processes(self):
+        payloads = [(13, (2, idx)) for idx in range(3)]
+        local = [_spawned_draws(p) for p in payloads]
+        with multiprocessing.get_context("fork").Pool(2) as pool:
+            remote = pool.map(_spawned_draws, payloads)
+        assert remote == local
 
 
 class TestIdAllocator:
