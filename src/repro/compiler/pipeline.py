@@ -51,6 +51,7 @@ def compile_kernel(
     perf_model=None,
     initial_schedules=None,
     attempts=2,
+    telemetry=None,
 ):
     """Compile ``kernel`` for ``adg``.
 
@@ -62,6 +63,9 @@ def compile_kernel(
     initial_schedules:
         Optional ``{VariantParams: Schedule}`` warm starts — the DSE
         repair path passes the previous iteration's schedules here.
+    telemetry:
+        Optional :class:`repro.utils.telemetry.Telemetry` threaded into
+        the spatial scheduler (evaluation/cache counters, phase timers).
 
     Returns a :class:`CompiledKernel`; ``result.ok`` is False when no
     variant could be legally mapped.
@@ -98,7 +102,8 @@ def compile_kernel(
             if attempt and rng is not None:
                 seed_rng = rng.fork(f"retry-{params.describe()}")
             scheduler = SpatialScheduler(
-                adg, rng=seed_rng, max_iters=max_iters
+                adg, rng=seed_rng, max_iters=max_iters,
+                telemetry=telemetry,
             )
             try:
                 schedule, cost = scheduler.schedule(
@@ -114,7 +119,9 @@ def compile_kernel(
         if cost is None or not cost.is_legal:
             rejected.append((params, failure or "scheduling failed"))
             continue
-        timing = compute_timing(schedule, scheduler.routing)
+        timing = compute_timing(
+            schedule, scheduler.routing, telemetry=telemetry
+        )
         perf = model.estimate(scope, schedule, timing)
         if perf.cycles < best_cycles:
             best_cycles = perf.cycles

@@ -152,17 +152,34 @@ _EVAL_CONTEXT = None
 
 
 def _compile_kernels(context, adg, rng, warm_schedules=None, budget=None):
-    """Compile every kernel; returns (results, cycles, schedules, counters).
+    """Compile every kernel; returns
+    ``(results, cycles, schedules, counters, sched_seconds)``.
 
     ``warm_schedules`` maps kernel name -> {params: schedule} from the
     incumbent design; with repair enabled, stale state is stripped and
     the search resumes from the survivor (Section V-A) instead of
     remapping from scratch.
+
+    ``counters`` folds in the spatial scheduler's telemetry counters
+    (``sched_evaluations``, ``timing_region_cache_hits``, ...) and
+    ``sched_seconds`` holds its per-phase wall-clock, so scheduler
+    behavior surfaces in the DSE run log even across worker processes.
     """
     results = {}
     cycles = {}
     schedules = {}
     counters = {"schedule_repairs": 0, "full_remaps": 0}
+    sched_telemetry = Telemetry()
+
+    def _finish(mapped):
+        for name, amount in sched_telemetry.counters.items():
+            counters[name] = counters.get(name, 0) + amount
+        sched_seconds = {
+            name: slot["seconds"]
+            for name, slot in sched_telemetry.timings.items()
+        }
+        return mapped, cycles, schedules, counters, sched_seconds
+
     for kernel in context.kernels:
         initial = None
         if context.use_repair and warm_schedules:
@@ -183,15 +200,16 @@ def _compile_kernels(context, adg, rng, warm_schedules=None, budget=None):
                 rng=rng.fork(f"sched-{kernel.name}"),
                 max_iters=budget or context.sched_iters,
                 initial_schedules=initial,
+                telemetry=sched_telemetry,
             )
         except CompilationError:
-            return None, {}, {}, counters
+            return _finish(None)
         if not result.ok:
-            return None, {}, {}, counters
+            return _finish(None)
         results[kernel.name] = result
         cycles[kernel.name] = result.perf.cycles
         schedules[kernel.name] = {result.params: result.schedule}
-    return results, cycles, schedules, counters
+    return _finish(results)
 
 
 def _evaluate_candidate(task, context=None):
@@ -218,7 +236,8 @@ def _evaluate_candidate(task, context=None):
     rng = DeterministicRng(task.seed)
     start = time.perf_counter()
     try:
-        results, cycles, schedules, compile_counters = _compile_kernels(
+        (results, cycles, schedules, compile_counters,
+         sched_seconds) = _compile_kernels(
             ctx, task.adg, rng,
             warm_schedules=task.warm_schedules, budget=task.budget,
         )
@@ -231,6 +250,8 @@ def _evaluate_candidate(task, context=None):
             stage_seconds=stage, counters=counters,
         )
     stage["compile"] = time.perf_counter() - start
+    for name, seconds in sched_seconds.items():
+        stage[name] = stage.get(name, 0.0) + seconds
     for name, amount in compile_counters.items():
         counters[name] = counters.get(name, 0) + amount
     if results is None:
@@ -358,10 +379,13 @@ class DesignSpaceExplorer:
         best_adg = self.initial_adg.clone()
         context = self._context()
         with telemetry.timer("initial_compile"):
-            results, cycles, schedules, _ = _compile_kernels(
+            (results, cycles, schedules, compile_counters,
+             sched_seconds) = _compile_kernels(
                 context, best_adg, self.rng,
                 budget=self.initial_sched_iters,
             )
+        telemetry.merge_counters(compile_counters)
+        telemetry.merge_timings(sched_seconds)
         if results is None:
             raise DseError("initial hardware cannot host the kernel set")
         self.objective.set_baseline(cycles)

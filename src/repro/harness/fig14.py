@@ -75,6 +75,12 @@ def run(workload_sets=None, scale=0.05, dse_iters=15, sched_iters=50,
     savings = [v["area_saving"] for v in per_set.values()]
     improvements = [v["objective_improvement"] for v in per_set.values()]
     wall = throughput["wall_seconds"]
+    # Scheduler-level telemetry (incremental-evaluation effectiveness):
+    # evaluations vs timing-cache hits vs from-scratch recomputations.
+    scheduler_counters = {
+        name: value for name, value in telemetry.counters.items()
+        if name.startswith(("sched_", "timing_"))
+    }
     summary = {
         "per_set": per_set,
         "mean_area_saving": sum(savings) / len(savings),
@@ -91,5 +97,6 @@ def run(workload_sets=None, scale=0.05, dse_iters=15, sched_iters=50,
             ),
         },
         "counters": dict(telemetry.counters),
+        "scheduler": scheduler_counters,
     }
     return rows, summary

@@ -76,13 +76,24 @@ class ScheduleCost:
         return self.scalar() < other.scalar()
 
 
-def evaluate_schedule(schedule, routing, timing_result=None):
-    """Compute the :class:`ScheduleCost` of a (partial) schedule."""
+def evaluate_schedule(schedule, routing, timing_result=None,
+                      telemetry=None):
+    """Compute the :class:`ScheduleCost` of a (partial) schedule.
+
+    Evaluation is delta-friendly: every utilization table is served from
+    the schedule's live counters, and timing is cached per region on its
+    mutation epoch, so the cost of a call is proportional to the
+    resources in use plus the regions that actually changed — not the
+    whole schedule. ``telemetry`` counts ``sched_evaluations`` and the
+    timing cache hit/recompute split.
+    """
+    if telemetry is not None:
+        telemetry.incr("sched_evaluations")
     cost = ScheduleCost()
-    cost.unplaced = len(schedule.unplaced_vertices())
-    cost.unrouted = sum(
-        1 for edge in schedule.edges() if edge not in schedule.routes
-    )
+    # Placement keys are vertices and route keys are edges (a Schedule
+    # invariant), so incompleteness is pure count arithmetic.
+    cost.unplaced = schedule.num_vertices() - len(schedule.placement)
+    cost.unrouted = schedule.num_edges() - len(schedule.routes)
 
     # PE overuse: beyond one instruction for dedicated, beyond the
     # instruction buffer for shared.
@@ -107,7 +118,9 @@ def evaluate_schedule(schedule, routing, timing_result=None):
         slots = memory.num_stream_slots if isinstance(memory, Memory) else 1
         cost.overuse_memory += max(0, len(streams) - slots)
 
-    timing = timing_result or compute_timing(schedule, routing)
+    timing = timing_result or compute_timing(
+        schedule, routing, telemetry=telemetry
+    )
     cost.ii = timing.max_ii
     cost.ii_excess = sum(
         t.ii - 1 for t in timing.regions.values()
@@ -124,5 +137,5 @@ def evaluate_schedule(schedule, routing, timing_result=None):
     cost.skew_violations = sum(
         t.skew_violations for t in timing.regions.values()
     )
-    cost.route_length = sum(len(r) for r in schedule.routes.values())
+    cost.route_length = schedule.route_length()
     return cost

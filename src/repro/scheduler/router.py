@@ -40,6 +40,12 @@ class RoutingGraph:
                 latency = dst_node.latency
             self._adjacency[link.src].append((link.link_id, link.dst, latency))
             self._links[link.link_id] = link
+        # Hop distances drive placement's proximity bias on every
+        # candidate-sampling call: build the full table eagerly (one BFS
+        # per node, once per ADG) so the hot path never takes a miss.
+        self._hop_cache = {
+            name: self._bfs_hops(name) for name in adg.node_names()
+        }
 
     def link(self, link_id):
         return self._links[link_id]
@@ -124,24 +130,28 @@ class RoutingGraph:
     def reachable(self, src, dst):
         return self.route(src, dst) is not None
 
+    def _bfs_hops(self, src):
+        """BFS hop table from ``src`` (interior hops through switches
+        and delay FIFOs only)."""
+        table = {src: 0}
+        frontier = [src]
+        while frontier:
+            next_frontier = []
+            for name in frontier:
+                if name != src and not self._passable(name):
+                    continue
+                for link_id, neighbor, _latency in self._adjacency[name]:
+                    if neighbor not in table:
+                        table[neighbor] = table[name] + 1
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return table
+
     def hops(self, src, dst):
-        """Congestion-free hop distance (cached BFS per source); inf when
+        """Congestion-free hop distance (precomputed); inf when
         unreachable. Used to bias placement toward nearby tiles."""
-        if not hasattr(self, "_hop_cache"):
-            self._hop_cache = {}
         table = self._hop_cache.get(src)
-        if table is None:
-            table = {src: 0}
-            frontier = [src]
-            while frontier:
-                next_frontier = []
-                for name in frontier:
-                    if name != src and not self._passable(name):
-                        continue
-                    for link_id, neighbor, _latency in self._adjacency[name]:
-                        if neighbor not in table:
-                            table[neighbor] = table[name] + 1
-                            next_frontier.append(neighbor)
-                frontier = next_frontier
+        if table is None:  # src added after construction: fill on demand
+            table = self._bfs_hops(src)
             self._hop_cache[src] = table
         return table.get(dst, float("inf"))

@@ -12,6 +12,28 @@ The schedule deliberately allows illegal intermediate states
 minimizes these through the objective rather than forbidding them
 ("to avoid local minima during the search, the routing and PE resources
 are allowed to be overutilized", Section IV-C).
+
+Utilization state (``pe_load``/``port_load``/``link_values``/
+``memory_streams``/per-PE issue cost/total route length) is maintained
+*incrementally*: ``placement``, ``routes`` and ``stream_binding`` are
+observed mappings that update live counters on every mutation, so the
+objective evaluates in time proportional to the resources actually in
+use rather than re-deriving every table per call. The from-scratch
+derivations are kept as ``_recompute_*`` oracles for property tests.
+
+Each mutation also bumps a per-region *epoch*; ``compute_timing`` caches
+per-region timing keyed on that epoch so only regions whose placement or
+routes changed are re-timed.
+
+Invariants callers must respect (all existing callers do):
+
+* placement keys are vertices of :meth:`vertices`, route keys are edges
+  of :meth:`edges` (so incompleteness is pure count arithmetic);
+* route link-lists are never mutated in place — replace them through
+  :meth:`set_route`;
+* wholesale assignment to ``placement``/``routes``/``stream_binding``
+  is allowed but rebuilds the counters from scratch (counted in
+  :data:`STATS`).
 """
 
 from dataclasses import dataclass
@@ -23,6 +45,13 @@ from repro.adg.components import (
 )
 from repro.errors import SchedulingError
 from repro.ir.dfg import NodeKind
+from repro.isa.opcodes import OPCODES
+
+#: Process-wide count of from-scratch derived-state rebuilds (wholesale
+#: assignment to ``placement``/``routes``/``stream_binding`` or
+#: unpickling). The scheduler snapshots this around a run to surface it
+#: as the ``sched_load_rebuilds`` telemetry counter.
+STATS = {"load_rebuilds": 0}
 
 
 @dataclass(frozen=True)
@@ -67,17 +96,219 @@ class Edge:
         return (self.region, self.src_id, self.lane)
 
 
+class _ObservedDict(dict):
+    """A dict that notifies its owner on every entry add/remove.
+
+    The callbacks keep the schedule's live utilization counters in sync
+    with direct mutations (``sched.routes.pop(edge)``,
+    ``del sched.placement[v]``, ...) without forcing every caller
+    through dedicated mutator methods.
+    """
+
+    __slots__ = ("_on_add", "_on_remove")
+
+    def __init__(self, on_add, on_remove):
+        super().__init__()
+        self._on_add = on_add
+        self._on_remove = on_remove
+
+    def __setitem__(self, key, value):
+        if key in self:
+            self._on_remove(key, dict.__getitem__(self, key))
+        dict.__setitem__(self, key, value)
+        self._on_add(key, value)
+
+    def __delitem__(self, key):
+        value = dict.__getitem__(self, key)
+        dict.__delitem__(self, key)
+        self._on_remove(key, value)
+
+    def pop(self, key, *default):
+        if key in self:
+            value = dict.__getitem__(self, key)
+            del self[key]
+            return value
+        if default:
+            return default[0]
+        raise KeyError(key)
+
+    def popitem(self):
+        key = next(reversed(self))
+        return key, self.pop(key)
+
+    def clear(self):
+        for key in list(dict.keys(self)):
+            del self[key]
+
+    def update(self, *args, **kwargs):
+        for key, value in dict(*args, **kwargs).items():
+            self[key] = value
+
+    def setdefault(self, key, default=None):
+        if key not in self:
+            self[key] = default
+        return dict.__getitem__(self, key)
+
+
+def _issue_cost(op_name):
+    """Per-instance issue cost of one instruction on its PE: pipelined
+    opcodes sustain one issue per cycle, unpipelined ones block."""
+    op = OPCODES[op_name]
+    return 1 if op.pipelined else op.latency
+
+
 class Schedule:
     """Mapping state for one configuration scope on one ADG."""
 
     def __init__(self, scope, adg):
         self.scope = scope
         self.adg = adg
-        self.placement = {}       # Vertex -> hw node name
-        self.routes = {}          # Edge -> [link_id, ...]
-        self.stream_binding = {}  # (region, port) -> memory name
         self.input_delays = {}    # Edge -> extra delay-FIFO cycles
+        self._region_by_name = {r.name: r for r in scope.regions}
+        # Immutable software-side views, built lazily, shared by clones.
         self._edges = None
+        self._edges_by_vertex = None
+        self._all_vertices = None
+        # Live utilization counters (see module docstring).
+        self._pe_load = {}          # PE name -> mapped instruction count
+        self._port_load = {}        # sync name -> mapped DFG port count
+        self._pe_issue_cost = {}    # PE name -> summed issue cost
+        self._link_value_refs = {}  # link_id -> {value: route refcount}
+        self._memory_streams = {}   # memory name -> [(region, port), ...]
+        self._route_length = 0      # total links across all routes
+        # Timing-cache state: per-region mutation epoch plus the cached
+        # RegionTiming entries keyed on it (see repro.scheduler.timing).
+        self._region_epoch = {}
+        self._timing_cache = {}     # region -> (epoch, has_delays, timing)
+        self._placement = _ObservedDict(
+            self._vertex_placed, self._vertex_unplaced
+        )
+        self._routes = _ObservedDict(self._route_added, self._route_removed)
+        self._stream_binding = _ObservedDict(
+            self._stream_bound, self._stream_unbound
+        )
+
+    # ------------------------------------------------------------------
+    # Observed mappings
+    # ------------------------------------------------------------------
+    @property
+    def placement(self):
+        """Vertex -> hw node name (observed: mutations update counters)."""
+        return self._placement
+
+    @placement.setter
+    def placement(self, mapping):
+        items = dict(mapping)
+        STATS["load_rebuilds"] += 1
+        self._pe_load.clear()
+        self._port_load.clear()
+        self._pe_issue_cost.clear()
+        self._placement = _ObservedDict(
+            self._vertex_placed, self._vertex_unplaced
+        )
+        self._placement.update(items)
+
+    @property
+    def routes(self):
+        """Edge -> [link_id, ...] (observed: mutations update counters)."""
+        return self._routes
+
+    @routes.setter
+    def routes(self, mapping):
+        items = {key: list(value) for key, value in dict(mapping).items()}
+        STATS["load_rebuilds"] += 1
+        self._link_value_refs.clear()
+        self._route_length = 0
+        self._routes = _ObservedDict(self._route_added, self._route_removed)
+        self._routes.update(items)
+
+    @property
+    def stream_binding(self):
+        """(region, port) -> memory name (observed)."""
+        return self._stream_binding
+
+    @stream_binding.setter
+    def stream_binding(self, mapping):
+        items = dict(mapping)
+        STATS["load_rebuilds"] += 1
+        self._memory_streams.clear()
+        self._stream_binding = _ObservedDict(
+            self._stream_bound, self._stream_unbound
+        )
+        self._stream_binding.update(items)
+
+    # ------------------------------------------------------------------
+    # Mutation observers
+    # ------------------------------------------------------------------
+    def _bump_epoch(self, region_name):
+        self._region_epoch[region_name] = (
+            self._region_epoch.get(region_name, 0) + 1
+        )
+
+    @staticmethod
+    def _decrement(table, key, amount):
+        remaining = table.get(key, 0) - amount
+        if remaining > 0:
+            table[key] = remaining
+        else:
+            table.pop(key, None)
+
+    def _vertex_placed(self, vertex, hw_name):
+        node = self.node_of(vertex)
+        if node.kind is NodeKind.INSTR:
+            self._pe_load[hw_name] = self._pe_load.get(hw_name, 0) + 1
+            self._pe_issue_cost[hw_name] = (
+                self._pe_issue_cost.get(hw_name, 0) + _issue_cost(node.op)
+            )
+        elif node.kind in (NodeKind.INPUT, NodeKind.OUTPUT):
+            self._port_load[hw_name] = self._port_load.get(hw_name, 0) + 1
+        self._bump_epoch(vertex.region)
+
+    def _vertex_unplaced(self, vertex, hw_name):
+        node = self.node_of(vertex)
+        if node.kind is NodeKind.INSTR:
+            self._decrement(self._pe_load, hw_name, 1)
+            self._decrement(
+                self._pe_issue_cost, hw_name, _issue_cost(node.op)
+            )
+        elif node.kind in (NodeKind.INPUT, NodeKind.OUTPUT):
+            self._decrement(self._port_load, hw_name, 1)
+        self._bump_epoch(vertex.region)
+
+    def _route_added(self, edge, links):
+        value = edge.value
+        for link_id in links:
+            refs = self._link_value_refs.setdefault(link_id, {})
+            refs[value] = refs.get(value, 0) + 1
+        self._route_length += len(links)
+        self._bump_epoch(edge.region)
+
+    def _route_removed(self, edge, links):
+        value = edge.value
+        for link_id in links:
+            refs = self._link_value_refs.get(link_id)
+            if refs is None:
+                continue
+            remaining = refs.get(value, 0) - 1
+            if remaining > 0:
+                refs[value] = remaining
+            else:
+                refs.pop(value, None)
+                if not refs:
+                    del self._link_value_refs[link_id]
+        self._route_length -= len(links)
+        self._bump_epoch(edge.region)
+
+    def _stream_bound(self, key, memory_name):
+        self._memory_streams.setdefault(memory_name, []).append(key)
+
+    def _stream_unbound(self, key, memory_name):
+        keys = self._memory_streams.get(memory_name)
+        if keys is None:
+            return
+        keys.remove(key)
+        if not keys:
+            del self._memory_streams[memory_name]
 
     # ------------------------------------------------------------------
     # Software-side views
@@ -86,18 +317,32 @@ class Schedule:
         return self.scope.regions
 
     def region(self, name):
-        return self.scope.region(name)
+        region = self._region_by_name.get(name)
+        if region is None:
+            region = self.scope.region(name)  # raises for unknown names
+            self._region_by_name[name] = region
+        return region
 
     def vertices(self, kinds=None):
         """All software vertices, optionally filtered by NodeKind set."""
-        result = []
-        for region in self.scope.regions:
-            for node in region.dfg.nodes():
-                if node.kind is NodeKind.CONST:
-                    continue  # constants are baked into PE configuration
-                if kinds is None or node.kind in kinds:
+        if self._all_vertices is None:
+            result = []
+            for region in self.scope.regions:
+                for node in region.dfg.nodes():
+                    if node.kind is NodeKind.CONST:
+                        continue  # constants are baked into PE config
                     result.append(Vertex(region.name, node.node_id))
-        return result
+            self._all_vertices = result
+        if kinds is None:
+            return list(self._all_vertices)
+        return [
+            v for v in self._all_vertices if self.node_of(v).kind in kinds
+        ]
+
+    def num_vertices(self):
+        if self._all_vertices is None:
+            self.vertices()
+        return len(self._all_vertices)
 
     def instruction_vertices(self):
         return self.vertices({NodeKind.INSTR})
@@ -107,29 +352,35 @@ class Schedule:
 
     def node_of(self, vertex):
         """The DFG node behind a vertex."""
-        return self.scope.region(vertex.region).dfg.node(vertex.node_id)
+        return self.region(vertex.region).dfg.node(vertex.node_id)
 
     def edges(self):
-        """All software dependence edges (cached)."""
+        """All software dependence edges (cached, shared with clones)."""
         if self._edges is None:
-            self._edges = []
+            edges = []
+            by_vertex = {}
             for region in self.scope.regions:
-                for src, dst, idx, lane in region.dfg.edges():
-                    producer = region.dfg.node(src)
-                    if producer.kind is NodeKind.CONST:
+                dfg = region.dfg
+                for src, dst, idx, lane in dfg.edges():
+                    if dfg.node(src).kind is NodeKind.CONST:
                         continue  # no route needed: consts live in config
-                    self._edges.append(
-                        Edge(region.name, src, dst, idx, lane)
-                    )
+                    edge = Edge(region.name, src, dst, idx, lane)
+                    edges.append(edge)
+                    by_vertex.setdefault(edge.src, []).append(edge)
+                    if edge.dst != edge.src:
+                        by_vertex.setdefault(edge.dst, []).append(edge)
+            self._edges = edges
+            self._edges_by_vertex = by_vertex
         return self._edges
 
+    def num_edges(self):
+        return len(self.edges())
+
     def edges_of(self, vertex):
-        """Edges touching a vertex."""
-        return [
-            edge for edge in self.edges()
-            if (edge.region == vertex.region
-                and vertex.node_id in (edge.src_id, edge.dst_id))
-        ]
+        """Edges touching a vertex (indexed, not a linear scan)."""
+        if self._edges_by_vertex is None:
+            self.edges()
+        return list(self._edges_by_vertex.get(vertex, ()))
 
     # ------------------------------------------------------------------
     # Mapping operations
@@ -137,85 +388,132 @@ class Schedule:
     def place(self, vertex, hw_name):
         if not self.adg.has_node(hw_name):
             raise SchedulingError(f"placement target {hw_name!r} not in ADG")
-        self.placement[vertex] = hw_name
+        self._placement[vertex] = hw_name
 
     def unplace(self, vertex):
         """Remove a vertex's placement and every route touching it."""
-        self.placement.pop(vertex, None)
+        self._placement.pop(vertex, None)
         for edge in self.edges_of(vertex):
-            self.routes.pop(edge, None)
+            self._routes.pop(edge, None)
             self.input_delays.pop(edge, None)
 
     def hw_of(self, vertex):
-        return self.placement.get(vertex)
+        return self._placement.get(vertex)
 
     def set_route(self, edge, links):
-        self.routes[edge] = list(links)
+        self._routes[edge] = list(links)
 
     def bind_stream(self, region_name, port, memory_name):
         if not self.adg.has_node(memory_name):
             raise SchedulingError(f"memory {memory_name!r} not in ADG")
-        self.stream_binding[(region_name, port)] = memory_name
+        self._stream_binding[(region_name, port)] = memory_name
 
     def clear(self):
-        self.placement.clear()
-        self.routes.clear()
-        self.stream_binding.clear()
+        # Fast path: raw-clear the observed dicts and reset the counters
+        # wholesale instead of walking every entry through the observers.
+        dict.clear(self._placement)
+        dict.clear(self._routes)
+        dict.clear(self._stream_binding)
         self.input_delays.clear()
+        self._pe_load.clear()
+        self._port_load.clear()
+        self._pe_issue_cost.clear()
+        self._link_value_refs.clear()
+        self._memory_streams.clear()
+        self._route_length = 0
+        self._timing_cache.clear()
+        for region in self.scope.regions:
+            self._bump_epoch(region.name)
 
     def clone(self):
         twin = Schedule(self.scope, self.adg)
-        twin.placement = dict(self.placement)
-        twin.routes = {k: list(v) for k, v in self.routes.items()}
-        twin.stream_binding = dict(self.stream_binding)
+        # Fast path: copy raw mappings and live counters directly —
+        # routing every entry through the observers would redo
+        # O(schedule) work on every accepted search iteration.
+        dict.update(twin._placement, self._placement)
+        dict.update(
+            twin._routes,
+            {edge: list(links) for edge, links in self._routes.items()},
+        )
+        dict.update(twin._stream_binding, self._stream_binding)
         twin.input_delays = dict(self.input_delays)
+        twin._pe_load = dict(self._pe_load)
+        twin._port_load = dict(self._port_load)
+        twin._pe_issue_cost = dict(self._pe_issue_cost)
+        twin._link_value_refs = {
+            link_id: dict(refs)
+            for link_id, refs in self._link_value_refs.items()
+        }
+        twin._memory_streams = {
+            memory: list(keys)
+            for memory, keys in self._memory_streams.items()
+        }
+        twin._route_length = self._route_length
+        twin._region_epoch = dict(self._region_epoch)
+        twin._timing_cache = dict(self._timing_cache)
+        # The DFG-derived views are immutable: share them with the twin.
+        self.edges()
+        twin._edges = self._edges
+        twin._edges_by_vertex = self._edges_by_vertex
+        twin._all_vertices = self._all_vertices
         return twin
 
     def rebind(self, adg):
         """Reattach the schedule to a (possibly edited) ADG clone."""
         self.adg = adg
+        # Routed path latencies and component properties may differ on
+        # the new hardware: every cached region timing is suspect.
+        self._timing_cache.clear()
+        for region in self.scope.regions:
+            self._bump_epoch(region.name)
+
+    # ------------------------------------------------------------------
+    # Pickling (warm schedules cross the DSE worker-process boundary)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return {
+            "scope": self.scope,
+            "adg": self.adg,
+            "placement": dict(self._placement),
+            "routes": {
+                edge: list(links) for edge, links in self._routes.items()
+            },
+            "stream_binding": dict(self._stream_binding),
+            "input_delays": dict(self.input_delays),
+        }
+
+    def __setstate__(self, state):
+        self.__init__(state["scope"], state["adg"])
+        self.placement = state["placement"]
+        self.routes = state["routes"]
+        self.stream_binding = state["stream_binding"]
+        self.input_delays = dict(state["input_delays"])
 
     # ------------------------------------------------------------------
     # Status queries
     # ------------------------------------------------------------------
     def unplaced_vertices(self):
-        return [v for v in self.vertices() if v not in self.placement]
+        return [v for v in self.vertices() if v not in self._placement]
 
     def unrouted_edges(self):
-        result = []
-        for edge in self.edges():
-            if edge in self.routes:
-                continue
-            if edge.src in self.placement and edge.dst in self.placement:
-                result.append(edge)
-            elif edge.src not in self.placement or edge.dst not in self.placement:
-                result.append(edge)
-        return result
+        return [edge for edge in self.edges() if edge not in self._routes]
 
     def is_complete(self):
         """Everything placed and routed (legality judged separately)."""
-        if self.unplaced_vertices():
+        if len(self._placement) < self.num_vertices():
             return False
-        return all(edge in self.routes for edge in self.edges())
+        return len(self._routes) >= self.num_edges()
 
     # ------------------------------------------------------------------
-    # Utilization
+    # Utilization (served from the live counters)
     # ------------------------------------------------------------------
     def pe_load(self):
         """PE name -> number of instructions mapped to it."""
-        load = {}
-        for vertex, hw_name in self.placement.items():
-            if self.node_of(vertex).kind is NodeKind.INSTR:
-                load[hw_name] = load.get(hw_name, 0) + 1
-        return load
+        return dict(self._pe_load)
 
     def port_load(self):
         """Sync element name -> number of DFG ports mapped to it."""
-        load = {}
-        for vertex, hw_name in self.placement.items():
-            if self.node_of(vertex).kind in (NodeKind.INPUT, NodeKind.OUTPUT):
-                load[hw_name] = load.get(hw_name, 0) + 1
-        return load
+        return dict(self._port_load)
 
     def link_load(self):
         """link_id -> number of *distinct values* routed through it.
@@ -224,24 +522,108 @@ class Schedule:
         value share a link as one multicast copy.
         """
         return {
-            link_id: len(values)
-            for link_id, values in self.link_values().items()
+            link_id: len(refs)
+            for link_id, refs in self._link_value_refs.items()
         }
 
     def link_values(self):
-        """link_id -> set of value identities routed through it."""
+        """link_id -> set of value identities routed through it.
+
+        Returns a fresh copy: callers (the router's congestion view)
+        mutate the result while speculating.
+        """
+        return {
+            link_id: set(refs)
+            for link_id, refs in self._link_value_refs.items()
+        }
+
+    def memory_streams(self):
+        """memory name -> list of (region, port) bound to it.
+
+        Entry order within a memory is unspecified (it follows binding
+        order, not the binding-dict order).
+        """
+        return {
+            memory: list(keys)
+            for memory, keys in self._memory_streams.items()
+        }
+
+    def pe_issue_cost(self):
+        """PE name -> summed per-instance issue cost of its instructions
+        (pipelined opcodes cost 1, unpipelined ones their latency)."""
+        return dict(self._pe_issue_cost)
+
+    def route_length(self):
+        """Total number of links across all routes."""
+        return self._route_length
+
+    # ------------------------------------------------------------------
+    # Region timing cache (used by repro.scheduler.timing)
+    # ------------------------------------------------------------------
+    def region_epoch(self, region_name):
+        """Monotonic counter bumped on every placement/route mutation
+        touching ``region_name``."""
+        return self._region_epoch.get(region_name, 0)
+
+    def cached_region_timing(self, region_name, need_delays):
+        """The cached RegionTiming for ``region_name`` if still valid
+        (same epoch; delay-FIFO assignments present when required)."""
+        entry = self._timing_cache.get(region_name)
+        if entry is None:
+            return None
+        epoch, has_delays, timing = entry
+        if epoch != self._region_epoch.get(region_name, 0):
+            return None
+        if need_delays and not has_delays:
+            return None
+        return timing
+
+    def store_region_timing(self, region_name, has_delays, timing):
+        self._timing_cache[region_name] = (
+            self._region_epoch.get(region_name, 0), has_delays, timing
+        )
+
+    # ------------------------------------------------------------------
+    # From-scratch oracles (property-test ground truth for the counters)
+    # ------------------------------------------------------------------
+    def _recompute_pe_load(self):
+        load = {}
+        for vertex, hw_name in self._placement.items():
+            if self.node_of(vertex).kind is NodeKind.INSTR:
+                load[hw_name] = load.get(hw_name, 0) + 1
+        return load
+
+    def _recompute_port_load(self):
+        load = {}
+        for vertex, hw_name in self._placement.items():
+            if self.node_of(vertex).kind in (NodeKind.INPUT,
+                                             NodeKind.OUTPUT):
+                load[hw_name] = load.get(hw_name, 0) + 1
+        return load
+
+    def _recompute_pe_issue_cost(self):
+        cost = {}
+        for vertex, hw_name in self._placement.items():
+            node = self.node_of(vertex)
+            if node.kind is NodeKind.INSTR:
+                cost[hw_name] = cost.get(hw_name, 0) + _issue_cost(node.op)
+        return cost
+
+    def _recompute_link_values(self):
         values = {}
-        for edge, links in self.routes.items():
+        for edge, links in self._routes.items():
             for link_id in links:
                 values.setdefault(link_id, set()).add(edge.value)
         return values
 
-    def memory_streams(self):
-        """memory name -> list of (region, port) bound to it."""
+    def _recompute_memory_streams(self):
         result = {}
-        for key, memory_name in self.stream_binding.items():
+        for key, memory_name in self._stream_binding.items():
             result.setdefault(memory_name, []).append(key)
         return result
+
+    def _recompute_route_length(self):
+        return sum(len(links) for links in self._routes.values())
 
     # ------------------------------------------------------------------
     # Legality helpers (composition rules of Section III-B)
@@ -261,7 +643,7 @@ class Schedule:
                 return False
             if node.op == "sjoin" and not hw.is_dynamic:
                 return False
-            region = self.scope.region(vertex.region)
+            region = self.region(vertex.region)
             if (
                 region.join_spec is not None
                 and not region.metadata.get("serial_join", False)
@@ -299,9 +681,9 @@ class Schedule:
 
     def summary(self):
         return {
-            "placed": len(self.placement),
-            "vertices": len(self.vertices()),
-            "routed": len(self.routes),
-            "edges": len(self.edges()),
-            "streams_bound": len(self.stream_binding),
+            "placed": len(self._placement),
+            "vertices": self.num_vertices(),
+            "routed": len(self._routes),
+            "edges": self.num_edges(),
+            "streams_bound": len(self._stream_binding),
         }

@@ -22,8 +22,10 @@ from repro.ir.stream import (
 )
 from repro.scheduler.objective import evaluate_schedule
 from repro.scheduler.router import RoutingGraph
+from repro.scheduler.schedule import STATS as SCHEDULE_STATS
 from repro.scheduler.schedule import Schedule
 from repro.utils.rng import DeterministicRng
+from repro.utils.telemetry import Telemetry
 
 
 class SpatialScheduler:
@@ -42,16 +44,29 @@ class SpatialScheduler:
         Stop once legal and stable for this many iterations.
     max_candidates:
         Candidate targets sampled per move (bounds per-iteration work).
+    telemetry:
+        Optional :class:`repro.utils.telemetry.Telemetry`; the scheduler
+        counts evaluations, timing cache hits/recomputes, move outcomes
+        and from-scratch state rebuilds, and times its phases under
+        ``sched/*``. Defaults to a disabled (no-op) instance.
     """
 
     def __init__(self, adg, rng=None, max_iters=200, patience=25,
-                 max_candidates=10):
+                 max_candidates=10, telemetry=None):
         self.adg = adg
         self.routing = RoutingGraph(adg)
         self.rng = rng or DeterministicRng(0)
         self.max_iters = max_iters
         self.patience = patience
         self.max_candidates = max_candidates
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry(enabled=False)
+        )
+
+    def _evaluate(self, sched):
+        return evaluate_schedule(
+            sched, self.routing, telemetry=self.telemetry
+        )
 
     # ------------------------------------------------------------------
     # Entry point
@@ -63,44 +78,58 @@ class SpatialScheduler:
         may be illegal when the hardware simply cannot host the scope —
         callers check ``cost.is_legal``.
         """
+        telemetry = self.telemetry
+        rebuilds_before = SCHEDULE_STATS["load_rebuilds"]
         sched = initial if initial is not None else Schedule(scope, self.adg)
         if initial is not None and sched.adg is not self.adg:
             sched.rebind(self.adg)
         self._region_rates = self._compute_region_rates(scope)
         self._bind_streams(sched)
-        self._greedy_place(sched)
-        self._route_all(sched)
+        with telemetry.timer("sched/greedy_place"):
+            self._greedy_place(sched)
+        with telemetry.timer("sched/route_all"):
+            self._route_all(sched)
         best = sched.clone()
-        best_cost = evaluate_schedule(best, self.routing)
+        best_cost = self._evaluate(best)
         stable = 0
         self.last_iterations = 0
-        for _ in range(self.max_iters):
-            if best_cost.is_legal and stable >= self.patience:
-                break
-            self.last_iterations += 1
-            if not best_cost.is_legal and stable and stable % 12 == 0:
-                # Stalled with congestion: rip up every route and rebuild
-                # in randomized order under congestion pricing.
-                self._global_reroute(sched)
-            # Near a solution but stalled: stop sampling, consider every
-            # candidate (small fabrics afford exhaustive moves).
-            self._thorough = (
-                not best_cost.is_legal and stable >= 8
-            )
-            improved = self._iterate(sched)
-            cost = evaluate_schedule(sched, self.routing)
-            if cost.scalar() < best_cost.scalar():
-                best = sched.clone()
-                best_cost = cost
-                stable = 0
-            else:
-                stable += 1
-            if not improved and not best_cost.is_legal:
-                # No move available at all: perturb by unmapping a random
-                # placed vertex to escape.
-                placed = [v for v in sched.vertices() if v in sched.placement]
-                if placed:
-                    sched.unplace(self.rng.choice(placed))
+        with telemetry.timer("sched/search"):
+            for _ in range(self.max_iters):
+                if best_cost.is_legal and stable >= self.patience:
+                    break
+                self.last_iterations += 1
+                telemetry.incr("sched_iterations")
+                if not best_cost.is_legal and stable and stable % 12 == 0:
+                    # Stalled with congestion: rip up every route and
+                    # rebuild in randomized order under congestion pricing.
+                    telemetry.incr("sched_global_reroutes")
+                    self._global_reroute(sched)
+                # Near a solution but stalled: stop sampling, consider
+                # every candidate (small fabrics afford exhaustive moves).
+                self._thorough = (
+                    not best_cost.is_legal and stable >= 8
+                )
+                improved = self._iterate(sched)
+                cost = self._evaluate(sched)
+                if cost.scalar() < best_cost.scalar():
+                    best = sched.clone()
+                    best_cost = cost
+                    stable = 0
+                else:
+                    stable += 1
+                if not improved and not best_cost.is_legal:
+                    # No move available at all: perturb by unmapping a
+                    # random placed vertex to escape.
+                    placed = [
+                        v for v in sched.vertices() if v in sched.placement
+                    ]
+                    if placed:
+                        telemetry.incr("sched_escapes")
+                        sched.unplace(self.rng.choice(placed))
+        telemetry.incr("sched_runs")
+        rebuilt = SCHEDULE_STATS["load_rebuilds"] - rebuilds_before
+        if rebuilt:
+            telemetry.incr("sched_load_rebuilds", rebuilt)
         return best, best_cost
 
     # ------------------------------------------------------------------
@@ -272,7 +301,7 @@ class SpatialScheduler:
         for hw_name in pool:
             sched.place(vertex, hw_name)
             routed = self._route_vertex_edges(sched, vertex)
-            cost = evaluate_schedule(sched, self.routing)
+            cost = self._evaluate(sched)
             scalar = cost.scalar() + self._rate_bias(sched, vertex, hw_name)
             if scalar < best_scalar:
                 best_scalar = scalar
@@ -339,14 +368,17 @@ class SpatialScheduler:
         # re-route it under current congestion pricing, without touching
         # placement (cheap and often enough to untangle hot links).
         if self.rng.accept(0.30) and self._reroute_congested(sched):
+            self.telemetry.incr("sched_moves_reroute")
             return True
         # Swap move: exchange two placed instructions (the escape for
         # near-full fabrics where single re-placement cannot help).
         if self.rng.accept(0.25) and self._swap_instructions(sched):
+            self.telemetry.incr("sched_moves_swap")
             return True
         vertex = self._pick_victim(sched)
         if vertex is None:
             return False
+        self.telemetry.incr("sched_moves_replace")
         # "Unmap one or more mapped instructions" (Algorithm 1):
         # occasionally evict a second vertex to open room.
         extra = None
@@ -386,9 +418,14 @@ class SpatialScheduler:
         if not (sched.placement_legal(first, hw_second)
                 and sched.placement_legal(second, hw_first)):
             return False
-        before = evaluate_schedule(sched, self.routing).scalar()
+        before = self._evaluate(sched).scalar()
+        # Only routes touching the swapped pair can change: save just
+        # those so the revert is a targeted restore, not a wholesale
+        # route-table rebuild.
+        touched = set(sched.edges_of(first)) | set(sched.edges_of(second))
         saved_routes = {
-            edge: list(links) for edge, links in sched.routes.items()
+            edge: list(sched.routes[edge])
+            for edge in touched if edge in sched.routes
         }
         sched.unplace(first)
         sched.unplace(second)
@@ -396,16 +433,19 @@ class SpatialScheduler:
         sched.place(second, hw_first)
         self._route_vertex_edges(sched, first)
         self._route_vertex_edges(sched, second)
-        after = evaluate_schedule(sched, self.routing).scalar()
+        after = self._evaluate(sched).scalar()
         if after < before:
             return True
-        # Revert.
+        # Revert — and report no progress, so the caller's escape
+        # perturbation is not starved by phantom improvements.
         sched.unplace(first)
         sched.unplace(second)
         sched.place(first, hw_first)
         sched.place(second, hw_second)
-        sched.routes = saved_routes
-        return True
+        for edge, links in saved_routes.items():
+            sched.set_route(edge, links)
+        self.telemetry.incr("sched_moves_swap_reverted")
+        return False
 
     def _global_reroute(self, sched):
         """PathFinder-style full rip-up: reroute every placed edge in a
@@ -439,11 +479,13 @@ class SpatialScheduler:
         if not congested:
             return False
         edge = self.rng.choice(congested)
-        old = sched.routes.pop(edge)
         src_hw = sched.placement.get(edge.src)
         dst_hw = sched.placement.get(edge.dst)
         if src_hw is None or dst_hw is None:
+            # A committed route whose endpoint went unplaced must stay
+            # committed — popping it here would silently lose it.
             return False
+        old = sched.routes.pop(edge)
         path = self.routing.route(
             src_hw, dst_hw, sched.link_values(), edge.value
         )

@@ -12,9 +12,16 @@ region this module computes:
 * recurrence-path latencies (reductions and self-recurrence streams);
 * execution-model flow violations (static -> dynamic without a sync
   element, dedicated -> shared).
+
+Per-region timing is cached on the schedule keyed on its mutation epoch
+(see :class:`repro.scheduler.schedule.Schedule`): a region is only
+re-timed when its placement or routes changed since the last call. The
+cross-region components (shared-PE contention, link time-multiplexing)
+are recomputed every call from the schedule's live counters, which is
+cheap, and merged into the cached per-region result without mutating it.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.adg.components import ProcessingElement, SyncElement
 from repro.ir.dfg import NodeKind
@@ -60,42 +67,63 @@ def _node_latency(node):
     return 0
 
 
-def compute_timing(schedule, routing, assign_delays=True):
+def compute_timing(schedule, routing, assign_delays=True, telemetry=None):
     """Compute :class:`TimingResult` for ``schedule``.
 
     Unplaced/unrouted regions still produce entries (with their placed
     subset timed) so repair can reason about partial schedules. When
     ``assign_delays`` is set, the computed per-edge delay-FIFO settings
     are written into ``schedule.input_delays``.
+
+    Regions whose mutation epoch is unchanged since the previous call
+    are served from the schedule's timing cache; ``telemetry`` (a
+    :class:`repro.utils.telemetry.Telemetry`) counts
+    ``timing_region_recomputes`` vs ``timing_region_cache_hits``.
     """
     result = TimingResult()
-    per_pe = _pe_initiation_intervals(schedule)
+    per_pe = schedule.pe_issue_cost()
     ii_link = _link_initiation_interval(schedule)
     for region in schedule.regions():
-        timing = _time_region(
-            schedule, routing, region, assign_delays
-        )
+        cached = schedule.cached_region_timing(region.name, assign_delays)
+        if cached is None:
+            base = _time_region(schedule, routing, region, assign_delays)
+            region_pes = {
+                schedule.placement.get(Vertex(region.name, node.node_id))
+                for node in region.dfg.instructions()
+            }
+            schedule.store_region_timing(
+                region.name, assign_delays, (base, region_pes)
+            )
+            if telemetry is not None:
+                telemetry.incr("timing_region_recomputes")
+        else:
+            base, region_pes = cached
+            if telemetry is not None:
+                telemetry.incr("timing_region_cache_hits")
         # A region's II is bounded by the PEs *it* occupies (a once-per-
         # launch divide in a low-rate region must not throttle the
         # high-rate region it feeds) — but contention on shared PEs it
         # co-occupies with other regions is included via per-PE totals.
-        region_pes = {
-            schedule.placement.get(Vertex(region.name, node.node_id))
-            for node in region.dfg.instructions()
-        }
+        # This cross-region component is merged on a copy so the cached
+        # per-region result stays valid when *other* regions move.
         region_ii = max(
             (per_pe.get(hw, 1) for hw in region_pes if hw is not None),
             default=1,
         )
-        timing.ii = max(timing.ii, region_ii, ii_link)
-        result.regions[region.name] = timing
+        result.regions[region.name] = replace(
+            base, ii=max(base.ii, region_ii, ii_link)
+        )
     return result
 
 
 def _pe_initiation_intervals(schedule):
     """Per-PE issue cost: dedicated pipelined PEs sustain one op/cycle;
     shared PEs issue one of their k instructions per cycle; unpipelined
-    opcodes block for their latency. Returns ``{pe_name: cost}``."""
+    opcodes block for their latency. Returns ``{pe_name: cost}``.
+
+    From-scratch oracle for ``Schedule.pe_issue_cost()`` (which serves
+    the same table from live counters); kept for the parity tests.
+    """
     per_pe = {}
     for vertex, hw_name in schedule.placement.items():
         node = schedule.node_of(vertex)
