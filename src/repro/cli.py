@@ -21,7 +21,7 @@ import sys
 from repro.adg import load_adg, save_adg, topologies, validate_adg
 from repro.compiler import compile_kernel
 from repro.errors import DsagenError
-from repro.sim import simulate
+from repro.sim import SIM_ENGINES, simulate
 from repro.utils.rng import DeterministicRng
 
 
@@ -47,7 +47,7 @@ def _target_adg(name):
         )
 
 
-def _run_compiled(adg, workload, result, do_simulate):
+def _run_compiled(adg, workload, result, do_simulate, sim_engine=None):
     print(f"variant: {result.params.describe()}  "
           f"estimated cycles: {result.perf.cycles:.0f}")
     print(f"schedule: {result.schedule.summary()}")
@@ -56,7 +56,7 @@ def _run_compiled(adg, workload, result, do_simulate):
     memory = workload.make_memory()
     result.scope.bind_constants(memory)
     reference = copy.deepcopy(memory)
-    sim = simulate(adg, result, memory)
+    sim = simulate(adg, result, memory, engine=sim_engine)
     workload.reference(reference)
     import math
 
@@ -97,7 +97,8 @@ def cmd_run(args):
         for params, reason in result.rejected:
             print(f"  {params.describe()}: {reason[:100]}")
         return 1
-    _run_compiled(adg, workload, result, not args.no_simulate)
+    _run_compiled(adg, workload, result, not args.no_simulate,
+                  sim_engine=args.sim_engine)
     return 0
 
 
@@ -122,7 +123,8 @@ def cmd_compile(args):
         print("no legal mapping")
         return 1
     print(describe_scope(result.scope))
-    _run_compiled(adg, workload, result, not args.no_simulate)
+    _run_compiled(adg, workload, result, not args.no_simulate,
+                  sim_engine=args.sim_engine)
     if args.dot:
         from repro.ir.printer import dfg_to_dot
 
@@ -199,6 +201,8 @@ def cmd_hwgen(args):
 
 
 def cmd_report(args):
+    import inspect
+
     from repro import harness
     from repro.harness.report import print_table
 
@@ -216,7 +220,15 @@ def cmd_report(args):
             f"unknown figure {args.figure!r}; one of "
             f"{', '.join(sorted(drivers))}"
         )
-    outcome = drivers[args.figure]()
+    driver = drivers[args.figure]
+    # Pass engine/telemetry options only to harnesses that take them.
+    accepted = inspect.signature(driver).parameters
+    kwargs = {}
+    if args.sim_engine and "sim_engine" in accepted:
+        kwargs["sim_engine"] = args.sim_engine
+    if args.telemetry_out and "telemetry_out" in accepted:
+        kwargs["telemetry_out"] = args.telemetry_out
+    outcome = driver(**kwargs)
     rows, summary = outcome[0], outcome[-1]
     print_table(rows, title=args.figure)
     print(json.dumps(summary, indent=2, default=str))
@@ -240,6 +252,10 @@ def build_parser():
     run_parser.add_argument("--sched-iters", type=int, default=150)
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--no-simulate", action="store_true")
+    run_parser.add_argument("--sim-engine", default=None,
+                            choices=list(SIM_ENGINES),
+                            help="simulator replay loop (default: "
+                                 "event; both are bit-identical)")
 
     compile_parser = sub.add_parser(
         "compile", help="compile an annotated C file"
@@ -254,6 +270,8 @@ def build_parser():
     compile_parser.add_argument("--sched-iters", type=int, default=150)
     compile_parser.add_argument("--seed", type=int, default=0)
     compile_parser.add_argument("--no-simulate", action="store_true")
+    compile_parser.add_argument("--sim-engine", default=None,
+                                choices=list(SIM_ENGINES))
     compile_parser.add_argument("--dot", default=None,
                                 help="write region DFGs as DOT")
 
@@ -291,6 +309,13 @@ def build_parser():
         "report", help="regenerate a paper table/figure"
     )
     report_parser.add_argument("figure")
+    report_parser.add_argument("--sim-engine", default=None,
+                               choices=list(SIM_ENGINES),
+                               help="simulator replay loop for "
+                                    "harnesses that simulate")
+    report_parser.add_argument("--telemetry-out", default=None,
+                               help="write the harness run log "
+                                    "(JSONL) here")
 
     return parser
 

@@ -1,0 +1,69 @@
+"""Process-level compile memoization for the harnesses.
+
+The figure harnesses repeatedly compile the same (ADG, workload, seed)
+triples — across report invocations in one process, across fig10's
+compiled/manual passes sharing a preset, and inside tests that sweep
+simulator engines over a fixed kernel set. Compilation is deterministic
+(a pure function of the ADG, the kernel, and the RNG seed), so the
+result can be memoized on a structural fingerprint.
+
+Results are deep-copied on *every* return — hits and the first miss —
+because callers mutate what they get back (``model_validation`` forces
+``region.frequency``; ``bind_constants`` rewrites stream bindings).
+"""
+
+import copy
+import json
+
+from repro.adg.serialize import adg_to_dict
+
+_cache = {}
+_hits = 0
+_misses = 0
+
+
+def adg_fingerprint(adg):
+    """A stable structural fingerprint of an ADG (topology, component
+    parameters, capabilities) — identical graphs hash identically even
+    across separately constructed instances. The graph's display name
+    is excluded: compilation only sees the structure."""
+    payload = adg_to_dict(adg)
+    payload.pop("name", None)
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def cached_compile(adg, cache_key, factory, telemetry=None):
+    """Memoize ``factory()`` (a compile call) under
+    ``(adg_fingerprint(adg), *cache_key)``.
+
+    ``cache_key`` must capture everything else the compilation depends
+    on: workload name, scale, RNG seed, iteration budget. Failed
+    compilations (``result.ok`` false) are cached too — retrying a
+    deterministic failure would just repeat the work.
+    """
+    global _hits, _misses
+    key = (adg_fingerprint(adg),) + tuple(cache_key)
+    if key in _cache:
+        _hits += 1
+        if telemetry is not None:
+            telemetry.incr("compile_cache_hits")
+        return copy.deepcopy(_cache[key])
+    _misses += 1
+    if telemetry is not None:
+        telemetry.incr("compile_cache_misses")
+    result = factory()
+    _cache[key] = result
+    return copy.deepcopy(result)
+
+
+def stats():
+    return {"entries": len(_cache), "hits": _hits, "misses": _misses}
+
+
+def clear():
+    """Drop all memoized results (and counters); tests use this to get
+    a cold cache."""
+    global _hits, _misses
+    _cache.clear()
+    _hits = 0
+    _misses = 0

@@ -13,8 +13,10 @@ from repro.adg import topologies
 from repro.baselines.manual import manual_compile
 from repro.compiler.pipeline import compile_kernel
 from repro.errors import CompilationError, SimulationError
+from repro.harness.compile_cache import cached_compile
 from repro.sim import simulate
 from repro.utils.rng import DeterministicRng
+from repro.utils.telemetry import Telemetry
 from repro.workloads import kernel as make_kernel
 from repro.workloads.spec import WORKLOAD_DOMAINS
 
@@ -38,15 +40,21 @@ DEFAULT_MATRIX = {
 
 
 def run(matrix=None, scale=0.1, sched_iters=150, manual_iters=300,
-        verbose=False):
+        verbose=False, sim_engine=None, telemetry_out=None):
     """Returns ``(rows, summary)``.
 
     Each row: accelerator, workload, compiled/manual simulated cycles,
     and ``relative`` = compiled performance as a fraction of manual
     (manual/compiled cycle ratio, capped at 1.25 to mirror the paper's
     presentation where the compiler occasionally wins).
+
+    ``sim_engine`` picks the simulator replay loop (``"event"`` or
+    ``"stepped"``; both bit-identical); ``telemetry_out`` appends a
+    JSONL run log with per-pair events and the aggregate ``sim_*`` /
+    ``compile_cache_*`` counters.
     """
     matrix = matrix or DEFAULT_MATRIX
+    telemetry = Telemetry(jsonl_path=telemetry_out)
     rows = []
     for accel_name, kernel_names in matrix.items():
         adg = topologies.PRESETS[accel_name]()
@@ -54,10 +62,14 @@ def run(matrix=None, scale=0.1, sched_iters=150, manual_iters=300,
             row = {"accel": accel_name, "workload": name}
             try:
                 workload = make_kernel(name, scale)
-                compiled = compile_kernel(
-                    workload, adg,
-                    rng=DeterministicRng(("fig10", accel_name, name)),
-                    max_iters=sched_iters,
+                compiled = cached_compile(
+                    adg, ("fig10", name, scale, sched_iters),
+                    lambda: compile_kernel(
+                        workload, adg,
+                        rng=DeterministicRng(("fig10", accel_name, name)),
+                        max_iters=sched_iters,
+                    ),
+                    telemetry=telemetry,
                 )
                 if not compiled.ok:
                     raise CompilationError("no legal mapping")
@@ -69,11 +81,23 @@ def run(matrix=None, scale=0.1, sched_iters=150, manual_iters=300,
                 compiled.scope.bind_constants(compiled_memory)
                 manual_memory = manual.workload.make_memory()
                 manual.scope.bind_constants(manual_memory)
-                sim_compiled = simulate(adg, compiled, compiled_memory)
-                sim_manual = simulate(adg, manual, manual_memory)
+                sim_compiled = simulate(
+                    adg, compiled, compiled_memory,
+                    engine=sim_engine, telemetry=telemetry,
+                )
+                sim_manual = simulate(
+                    adg, manual, manual_memory,
+                    engine=sim_engine, telemetry=telemetry,
+                )
                 row["compiled_cycles"] = sim_compiled.cycles
                 row["manual_cycles"] = sim_manual.cycles
                 row["relative"] = sim_manual.cycles / sim_compiled.cycles
+                telemetry.event({
+                    "type": "pair", "accel": accel_name,
+                    "workload": name,
+                    "compiled_cycles": sim_compiled.cycles,
+                    "manual_cycles": sim_manual.cycles,
+                })
             except (CompilationError, SimulationError) as exc:
                 row["error"] = str(exc)[:60]
             rows.append(row)
@@ -94,5 +118,9 @@ def run(matrix=None, scale=0.1, sched_iters=150, manual_iters=300,
              if r.get("workload") == "fft" and "relative" in r),
             default=None,
         ),
+        "counters": dict(telemetry.counters),
     }
+    telemetry.event({"type": "summary",
+                     "counters": dict(telemetry.counters)})
+    telemetry.close()
     return rows, summary

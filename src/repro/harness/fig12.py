@@ -22,6 +22,7 @@ from repro.adg.components import Resourcing, Scheduling
 from repro.adg.topologies import FP_OPS, INT_OPS, JOIN_OPS, NN_OPS, build_mesh
 from repro.compiler.pipeline import compile_kernel
 from repro.errors import CompilationError
+from repro.harness.compile_cache import cached_compile
 from repro.utils.rng import DeterministicRng
 from repro.workloads import kernel as make_kernel
 
@@ -81,11 +82,18 @@ def run(kernels_by_domain=None, scale=0.1, sched_iters=150):
             for name in names:
                 key = (shared, dynamic, indirect, name)
                 try:
-                    result = compile_kernel(
-                        make_kernel(name, domain_scale), adg,
-                        rng=DeterministicRng(("fig12", name)),
-                        max_iters=sched_iters,
-                        attempts=4,
+                    # Memoized: repeated runs in one process (and any
+                    # structurally identical variants) reuse the
+                    # deterministic compile result.
+                    result = cached_compile(
+                        adg,
+                        ("fig12", name, domain_scale, sched_iters),
+                        lambda: compile_kernel(
+                            make_kernel(name, domain_scale), adg,
+                            rng=DeterministicRng(("fig12", name)),
+                            max_iters=sched_iters,
+                            attempts=4,
+                        ),
                     )
                     cycles[key] = (
                         result.perf.cycles if result.ok else None

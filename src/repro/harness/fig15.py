@@ -17,6 +17,7 @@ from repro.dse import DesignSpaceExplorer
 from repro.errors import CompilationError
 from repro.estimation.power_area import default_model, synthesize_adg
 from repro.utils.rng import DeterministicRng
+from repro.utils.telemetry import Telemetry
 from repro.workloads import kernel as make_kernel
 
 DSE_SETS = {
@@ -33,7 +34,8 @@ PRIOR_FOR_SET = {
 }
 
 
-def _kernel_cycles(adg, names, scale, sched_iters, tag):
+def _kernel_cycles(adg, names, scale, sched_iters, tag,
+                   telemetry=None):
     cycles = {}
     for name in names:
         try:
@@ -41,6 +43,7 @@ def _kernel_cycles(adg, names, scale, sched_iters, tag):
                 make_kernel(name, scale), adg,
                 rng=DeterministicRng(("fig15", tag, name)),
                 max_iters=sched_iters,
+                telemetry=telemetry,
             )
         except CompilationError:
             return None
@@ -50,9 +53,15 @@ def _kernel_cycles(adg, names, scale, sched_iters, tag):
     return cycles
 
 
-def run(scale=0.05, dse_iters=12, sched_iters=50, seed=0):
-    """Returns ``(validation_rows, comparison_rows, summary)``."""
+def run(scale=0.05, dse_iters=12, sched_iters=50, seed=0,
+        telemetry_out=None):
+    """Returns ``(validation_rows, comparison_rows, summary)``.
+
+    ``telemetry_out`` appends a JSONL run log (DSE per-set events plus
+    the aggregated scheduler counters).
+    """
     model = default_model()
+    telemetry = Telemetry(jsonl_path=telemetry_out)
 
     generated = {}
     for set_name, names in DSE_SETS.items():
@@ -63,10 +72,13 @@ def run(scale=0.05, dse_iters=12, sched_iters=50, seed=0):
             rng=DeterministicRng(("fig15", set_name, seed)),
             sched_iters=sched_iters,
             area_power_model=model,
+            telemetry=telemetry,
         )
         result = explorer.run(max_iters=dse_iters)
         generated[set_name] = result.best_adg
         generated[set_name].name = f"dsagen_{set_name}"
+        telemetry.event({"type": "set", "set": set_name,
+                         "workloads": list(names)})
 
     # ---- Part A: model validation --------------------------------------
     validation_rows = []
@@ -97,10 +109,12 @@ def run(scale=0.05, dse_iters=12, sched_iters=50, seed=0):
         prior_area, prior_power = model.estimate(prior_adg)
 
         dsagen_cycles = _kernel_cycles(
-            dsagen_adg, names, scale, sched_iters, f"{set_name}-gen"
+            dsagen_adg, names, scale, sched_iters, f"{set_name}-gen",
+            telemetry=telemetry,
         )
         prior_cycles = _kernel_cycles(
-            prior_adg, names, scale, sched_iters, f"{set_name}-prior"
+            prior_adg, names, scale, sched_iters, f"{set_name}-prior",
+            telemetry=telemetry,
         )
         if dsagen_cycles is None or prior_cycles is None:
             continue
@@ -154,5 +168,9 @@ def run(scale=0.05, dse_iters=12, sched_iters=50, seed=0):
                      / len(objective_ratios))
             if objective_ratios else 0.0
         ),
+        "counters": dict(telemetry.counters),
     }
+    telemetry.event({"type": "summary",
+                     "counters": dict(telemetry.counters)})
+    telemetry.close()
     return validation_rows, comparison_rows, summary

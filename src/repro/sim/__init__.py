@@ -10,8 +10,24 @@ bandwidth and banks, sync-element FIFOs with finite depth, and the
 scheduled fabric firing instances at its initiation interval and pipeline
 latency. This mirrors how decoupled architectures behave: dataflow values
 are timing-independent while throughput is resource-bound.
+
+Two replay engines produce bit-identical results: ``"event"`` (the
+default) skips quiet cycles and batch-fires steady-state windows;
+``"stepped"`` advances one cycle at a time and serves as the oracle.
 """
 
-from repro.sim.machine import CycleSimulator, SimResult, simulate
+from repro.sim.machine import (
+    SIM_ENGINES,
+    CycleSimulator,
+    SimResult,
+    default_engine,
+    simulate,
+)
 
-__all__ = ["CycleSimulator", "SimResult", "simulate"]
+__all__ = [
+    "SIM_ENGINES",
+    "CycleSimulator",
+    "SimResult",
+    "default_engine",
+    "simulate",
+]

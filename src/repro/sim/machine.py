@@ -21,7 +21,27 @@ Component models:
   one merge comparison per cycle following the recorded pop sequence.
 * **Recurrences** — forwarded words re-enter their consumer port two
   cycles after production (the port-to-port loop).
+
+Two replay engines share the per-cycle transition function:
+
+* ``engine="stepped"`` — the original loop: advance one cycle at a
+  time. Kept as the oracle.
+* ``engine="event"`` (default) — event-driven cycle skipping. After a
+  cycle in which nothing changed, jump straight to the next event
+  horizon (command ready time, in-flight completion, recurrence
+  arrival, fire eligibility, scalar service phase). While the machine
+  is in steady state — the bounded state (FIFO fills, in-flight ages,
+  stream carries, cursors) repeats with some period — fire whole
+  batches of instances analytically: all monotone counters (segment
+  ``moved``/``filled``, ``fired``, ``memory_busy``) advance by the
+  observed per-period delta times the repetition count, capped so no
+  segment completes, no region exhausts its instances, and no command
+  activates inside the extrapolated window. Near those boundaries the
+  engine falls back to single-cycle stepping, which makes the two
+  engines produce bit-identical :class:`SimResult` values.
 """
+
+import os
 
 from dataclasses import dataclass, field
 
@@ -39,6 +59,7 @@ from repro.ir.stream import (
 )
 from repro.scheduler.timing import compute_timing
 from repro.scheduler.router import RoutingGraph
+from repro.utils.telemetry import Telemetry
 
 #: Core cycles per scalarized indirect access (matches the compiler's
 #: fallback model).
@@ -48,6 +69,30 @@ RECURRENCE_LATENCY = 2
 #: Safety bound: a simulation exceeding this many cycles per word of
 #: traffic has deadlocked.
 _DEADLOCK_FACTOR = 64
+
+#: Replay engines: ``event`` skips cycles, ``stepped`` is the oracle.
+SIM_ENGINES = ("event", "stepped")
+
+#: Snapshot-history size before the steady-state detector resets.
+_HISTORY_LIMIT = 4096
+
+
+def default_engine():
+    """The replay engine used when callers pass ``engine=None``.
+
+    ``REPRO_SIM_ENGINE`` overrides the built-in default (``event``) so
+    whole harness runs can be flipped without touching call sites.
+    """
+    return os.environ.get("REPRO_SIM_ENGINE", "event")
+
+
+def _resolve_engine(engine):
+    engine = engine or default_engine()
+    if engine not in SIM_ENGINES:
+        raise ValueError(
+            f"unknown sim engine {engine!r}; one of {SIM_ENGINES}"
+        )
+    return engine
 
 
 @dataclass
@@ -215,6 +260,712 @@ class _RegionState:
         )
 
 
+class _Replay:
+    """One replay of a built machine state, under either engine.
+
+    Owns the mutable loop state (cycle, command cursor, pending
+    recurrences, busy counters) plus the event engine's snapshot
+    history. Both engines execute cycles through :meth:`_step_cycle`;
+    the event engine additionally skips quiet stretches and
+    batch-fires steady-state windows between steps.
+    """
+
+    def __init__(self, sim, states):
+        self.sim = sim
+        self.states = states
+        self.state_list = list(states.values())
+        self.memories = list(sim.adg.memories())
+        self.memory_busy = {m.name: 0 for m in self.memories}
+        self.pending_recur = []  # (arrival_cycle, consumer_port, words)
+        self.cycle = 0
+        self.changed = False
+
+        # Command pipeline: (ready_cycle, command); streams activate
+        # when the core reaches them.
+        self.command_schedule = []
+        clock = 0
+        for command in sim.program:
+            if command.kind is CommandKind.CONFIG:
+                clock += sim.config_cycles
+            else:
+                clock += command.issue_cycles
+            self.command_schedule.append((clock, command))
+        self.command_index = 0
+        self.region_started = {name: False for name in states}
+        self.region_finish = {}
+
+        total_words = sum(
+            seg.words
+            for state in self.state_list
+            for port, _lanes in state.in_ports.values()
+            for seg in port.segments
+        ) + 1
+        self.deadline = sim.config_cycles + _DEADLOCK_FACTOR * (
+            total_words + sum(s.total_instances * s.ii
+                              for s in self.state_list) + 64
+        )
+
+        # Barrier lookups, hoisted: region -> the states of every
+        # barrier region that precedes it in program order (previously
+        # rebuilt, with two .index() scans, on every blocked() call of
+        # every cycle).
+        order = {r.name: i for i, r in enumerate(sim.scope.regions)}
+        self._barrier_prefix = {
+            name: tuple(
+                states[barrier_name]
+                for barrier_name in sim.scope.barriers
+                if order[barrier_name] < order[name]
+            )
+            for name in states
+        }
+
+        # Static inventories for the event engine: every monotone
+        # counter the machine owns, in a fixed order, so steady-state
+        # windows can be extrapolated by vector arithmetic.
+        self._in_segs = [
+            seg
+            for state in self.state_list
+            for port, _lanes in state.in_ports.values()
+            for seg in port.segments
+        ]
+        self._out_segs = [
+            seg
+            for state in self.state_list
+            for port in state.out_ports.values()
+            for seg in port.segments
+        ]
+        self._sinks = [
+            sink
+            for state in self.state_list
+            for sinks in state.recur_sinks.values()
+            for sink in sinks
+        ]
+        self._scalar_segs = [
+            (seg, state.region.name)
+            for state in self.state_list
+            for port, _lanes in state.in_ports.values()
+            for seg in port.segments
+            if seg.channel == "scalar"
+        ] + [
+            (seg, state.region.name)
+            for state in self.state_list
+            for port in state.out_ports.values()
+            for seg in port.segments
+            if seg.channel == "scalar"
+        ]
+        self._port_index = {}
+        for state in self.state_list:
+            for port, _lanes in state.in_ports.values():
+                self._port_index[id(port)] = len(self._port_index)
+            for port in state.out_ports.values():
+                self._port_index[id(port)] = len(self._port_index)
+        self._join_states = [
+            state for state in self.state_list
+            if state.region.join_spec is not None
+        ]
+        self._history = {}
+
+        # Engine telemetry, accumulated as plain ints (hot loop).
+        self.steps = 0
+        self.idle_jumps = 0
+        self.idle_cycles = 0
+        self.batch_jumps = 0
+        self.batch_cycles = 0
+        self.batch_instances = 0
+
+    # -- barrier bookkeeping -------------------------------------------
+    def blocked(self, region_name):
+        for barrier_state in self._barrier_prefix[region_name]:
+            if not barrier_state.done():
+                return True
+        return False
+
+    # -- main loop ------------------------------------------------------
+    def replay(self, engine, memory):
+        event = engine == "event"
+        schedule_len = len(self.command_schedule)
+        while True:
+            self.changed = False
+            self._step_cycle()
+            self.steps += 1
+            if (self.command_index >= schedule_len
+                    and len(self.region_finish) == len(self.states)):
+                break
+            if event:
+                if self.changed:
+                    self._try_batch()
+                else:
+                    self._idle_skip()
+            self.cycle += 1
+            if self.cycle > self.deadline:
+                raise SimulationError(
+                    f"simulation deadlock at cycle {self.cycle}; "
+                    f"unfinished regions: "
+                    f"{[n for n in self.states if n not in self.region_finish]}"
+                    f"\n{self._stall_report()}"
+                )
+
+        return SimResult(
+            cycles=self.cycle + 1,
+            memory=memory,
+            region_cycles=self.region_finish,
+            memory_busy=self.memory_busy,
+            instances={n: s.fired for n, s in self.states.items()},
+            config_cycles=self.sim.config_cycles,
+        )
+
+    # -- one cycle of the machine --------------------------------------
+    def _step_cycle(self):
+        cycle = self.cycle
+
+        # 1. Core: activate stream segments whose issue time arrived.
+        while (self.command_index < len(self.command_schedule)
+               and self.command_schedule[self.command_index][0] <= cycle):
+            _, command = self.command_schedule[self.command_index]
+            if command.kind in (CommandKind.ISSUE_STREAM,
+                                CommandKind.ISSUE_CONST,
+                                CommandKind.ISSUE_RECUR):
+                self.region_started[command.region] = True
+            self.command_index += 1
+            self.changed = True
+
+        # 2. Recurrence deliveries.
+        still_pending = []
+        for arrival, port, words in self.pending_recur:
+            if arrival <= cycle:
+                segment = port.active_segment()
+                take = min(words, max(1, port.space))
+                if segment is not None and segment.kind == "recur":
+                    moved = segment.serve(take)
+                    port.fill += moved * segment.repeat
+                    words -= moved
+                    if moved:
+                        self.changed = True
+                if words > 0:
+                    still_pending.append((arrival, port, words))
+            else:
+                still_pending.append((arrival, port, words))
+        self.pending_recur = still_pending
+
+        # 3. Memory engines serve active read streams and drain
+        #    output write streams.
+        self._service_memories(cycle)
+
+        # 4. Const segments refill freely.
+        for state in self.state_list:
+            if not self.region_started[state.region.name]:
+                continue
+            for port, _lanes in state.in_ports.values():
+                segment = port.active_segment()
+                if segment is not None and segment.kind == "const":
+                    moved = segment.serve(port.space)
+                    port.fill += moved
+                    if moved:
+                        self.changed = True
+
+        # 5. Fabric: complete in-flight instances, then fire.
+        for state in self.state_list:
+            self._complete_inflight(state, cycle)
+        for state in self.state_list:
+            if not self.region_started[state.region.name]:
+                continue
+            if self.blocked(state.region.name):
+                continue
+            self._try_fire(state, cycle)
+
+        # 6. Record freshly drained regions.
+        for name, state in self.states.items():
+            if name not in self.region_finish and state.done():
+                self.region_finish[name] = cycle
+                self.changed = True
+
+    # -- memory engines -------------------------------------------------
+    def _service_memories(self, cycle):
+        for memory_node in self.memories:
+            line_budget = 1          # one line transaction per cycle
+            indirect_budget = memory_node.banks
+            scalar_ready = (cycle % SCALAR_ACCESS_CYCLES) == 0
+            served = False
+            # Round-robin across regions and ports, reads then writes.
+            for state in self.state_list:
+                if not self.region_started[state.region.name]:
+                    continue
+                if self.blocked(state.region.name):
+                    continue
+                for port, _lanes in state.in_ports.values():
+                    segment = port.active_segment()
+                    if (segment is None or segment.kind != "mem"
+                            or segment.memory_name != memory_node.name):
+                        continue
+                    moved = self._serve_segment(
+                        segment, port.space, line_budget,
+                        indirect_budget, scalar_ready,
+                    )
+                    if moved:
+                        port.fill += moved
+                        served = True
+                        if segment.channel == "line":
+                            line_budget -= 1
+                        elif segment.channel == "indirect":
+                            indirect_budget -= moved
+                        else:
+                            scalar_ready = False
+                for port in state.out_ports.values():
+                    segment = port.drain_segment()
+                    if (segment is None
+                            or segment.memory_name != memory_node.name):
+                        continue
+                    moved = self._serve_segment(
+                        segment, min(port.fill,
+                                     segment.filled - segment.moved),
+                        line_budget, indirect_budget, scalar_ready,
+                    )
+                    if moved:
+                        port.fill -= moved
+                        served = True
+                        if segment.channel == "line":
+                            line_budget -= 1
+                        elif segment.channel == "indirect":
+                            indirect_budget -= moved
+                        else:
+                            scalar_ready = False
+            if served:
+                self.memory_busy[memory_node.name] += 1
+
+    def _serve_segment(self, segment, available_words, line_budget,
+                       indirect_budget, scalar_ready):
+        if segment.channel == "line":
+            if line_budget <= 0:
+                return 0
+            budget = min(segment.rate_words + segment._carry,
+                         available_words)
+            moved = segment.serve(budget)
+            carry = (
+                max(0.0, segment.rate_words + segment._carry - moved)
+                if moved else 0.0
+            )
+            if moved or carry != segment._carry:
+                self.changed = True
+            segment._carry = carry
+            return moved
+        if segment.channel == "indirect":
+            if indirect_budget <= 0:
+                return 0
+            moved = segment.serve(min(indirect_budget, available_words))
+            if moved:
+                self.changed = True
+            return moved
+        # scalar
+        if not scalar_ready:
+            return 0
+        moved = segment.serve(min(1, available_words))
+        if moved:
+            self.changed = True
+        return moved
+
+    # -- fabric ---------------------------------------------------------
+    def _complete_inflight(self, state, cycle):
+        remaining = []
+        for completion, emission in state.inflight:
+            if completion > cycle:
+                remaining.append((completion, emission))
+                continue
+            self.changed = True
+            for out_name, words in emission.items():
+                port = state.out_ports[out_name]
+                recur_words, memory_words = port.assign_production(words)
+                port.fill += memory_words
+                if recur_words:
+                    # Distribute to the recurrence consumers in order.
+                    for sink in state.recur_sinks.get(out_name, ()):
+                        consumer_port, left = sink
+                        if left <= 0 or recur_words <= 0:
+                            continue
+                        take = min(recur_words, left)
+                        sink[1] -= take
+                        recur_words -= take
+                        self.pending_recur.append(
+                            (cycle + RECURRENCE_LATENCY, consumer_port,
+                             take)
+                        )
+        state.inflight = remaining
+
+    def _try_fire(self, state, cycle):
+        if state.all_fired or cycle < state.next_fire:
+            return
+        if state.region.join_spec is not None:
+            self._try_fire_join(state, cycle)
+            return
+        # Static/pipelined region: full vectors at every input, room at
+        # every output.
+        for port, lanes in state.in_ports.values():
+            if port.fill < lanes:
+                return
+        emission = {
+            out_name: state.emitted[out_name][state.fired]
+            for out_name in state.out_ports
+        }
+        for out_name, words in emission.items():
+            port = state.out_ports[out_name]
+            inflight_words = sum(
+                e.get(out_name, 0) for _, e in state.inflight
+            )
+            if port.fill + inflight_words + words > port.capacity:
+                return
+        for port, lanes in state.in_ports.values():
+            port.fill -= lanes
+        state.inflight.append((cycle + state.latency, emission))
+        state.fired += 1
+        state.next_fire = cycle + state.ii
+        self.changed = True
+
+    def _try_fire_join(self, state, cycle):
+        """Merge-join consumption: one comparison per cycle; the next
+        instance fires after its recorded pops complete."""
+        if cycle < state.join_busy_until:
+            return
+        if state.join_cursor >= len(state.join_pops):
+            # Tail pops (unmatched remainder) happen without firing.
+            return
+        left_pops, right_pops = state.join_pops[state.join_cursor]
+        spec = state.region.join_spec
+        left_ports = [spec.left_key] + list(spec.left_payloads)
+        right_ports = [spec.right_key] + list(spec.right_payloads)
+        for name in left_ports:
+            port, _lanes = state.in_ports[name]
+            if port.fill < left_pops:
+                return
+        for name in right_ports:
+            port, _lanes = state.in_ports[name]
+            if port.fill < right_pops:
+                return
+        emission = {
+            out_name: state.emitted[out_name][state.fired]
+            for out_name in state.out_ports
+        }
+        for out_name, words in emission.items():
+            port = state.out_ports[out_name]
+            if port.fill + words > port.capacity:
+                return
+        for name in left_ports:
+            state.in_ports[name][0].fill -= left_pops
+        for name in right_ports:
+            state.in_ports[name][0].fill -= right_pops
+        comparisons = max(1, left_pops + right_pops - 1)
+        comparisons *= state.join_cycle_per_comparison
+        state.join_busy_until = cycle + comparisons
+        state.inflight.append((cycle + state.latency, emission))
+        state.fired += 1
+        state.join_cursor += 1
+        state.next_fire = cycle + max(state.ii, comparisons)
+        self.changed = True
+
+    # -- event engine: quiet-cycle skipping -----------------------------
+    def _scalar_pending(self):
+        started = self.region_started
+        return any(
+            not seg.done and started[region_name]
+            for seg, region_name in self._scalar_segs
+        )
+
+    def _idle_skip(self):
+        """After a cycle in which *nothing* changed, jump to the next
+        event horizon: the machine state is a fixpoint, so every cycle
+        before the first timed trigger replays as another no-op."""
+        cycle = self.cycle
+        horizon = None
+        if self.command_index < len(self.command_schedule):
+            horizon = self.command_schedule[self.command_index][0]
+        for arrival, _port, _words in self.pending_recur:
+            if arrival > cycle and (horizon is None or arrival < horizon):
+                horizon = arrival
+        for state in self.state_list:
+            for completion, _emission in state.inflight:
+                if horizon is None or completion < horizon:
+                    horizon = completion
+            if not state.all_fired and state.next_fire > cycle:
+                if horizon is None or state.next_fire < horizon:
+                    horizon = state.next_fire
+            if state.join_busy_until > cycle:
+                if horizon is None or state.join_busy_until < horizon:
+                    horizon = state.join_busy_until
+        phase = cycle % SCALAR_ACCESS_CYCLES
+        if phase and self._scalar_pending():
+            next_phase = cycle + SCALAR_ACCESS_CYCLES - phase
+            if horizon is None or next_phase < horizon:
+                horizon = next_phase
+        # Process nothing until the horizon cycle itself; with no
+        # trigger left the machine is deadlocked, so run out the clock.
+        target = self.deadline if horizon is None else min(
+            horizon - 1, self.deadline
+        )
+        if target > cycle:
+            self.idle_jumps += 1
+            self.idle_cycles += target - cycle
+            self.cycle = target
+
+    # -- event engine: steady-state batch firing ------------------------
+    def _snapshot_key(self):
+        """The machine's bounded state, relative to the current cycle.
+
+        Two cycles with equal keys evolve identically except through
+        monotone counters (handled by :meth:`_max_repetitions` caps),
+        emission patterns (checked explicitly), and join pop sequences
+        (batching is disabled while a join region is still firing).
+        """
+        cycle = self.cycle
+        parts = [
+            self.command_index,
+            cycle % SCALAR_ACCESS_CYCLES if self._scalar_pending() else -1,
+        ]
+        append = parts.append
+        for arrival, port, words in self.pending_recur:
+            append(max(0, arrival - cycle))
+            append(self._port_index[id(port)])
+            append(words)
+        finish = self.region_finish
+        for state in self.state_list:
+            append(-2)  # region separator (sections vary in length)
+            append((2 if state.region.name in finish else 0)
+                   + (1 if state.all_fired else 0))
+            append(0 if state.all_fired
+                   else max(0, state.next_fire - cycle))
+            for completion, emission in state.inflight:
+                append(completion - cycle)
+                for out_name in state.out_ports:
+                    append(emission.get(out_name, 0))
+            append(-2)
+            for port, _lanes in state.in_ports.values():
+                segment = port.active_segment()
+                append(port.fill)
+                append(port.cursor)
+                append(segment._carry if segment is not None else -1.0)
+            for port in state.out_ports.values():
+                append(port.fill)
+                append(port.cursor)
+                append(port.assign_cursor)
+                for segment in port.segments:
+                    append(segment.filled - segment.moved)
+                    append((2 if segment.filled >= segment.words else 0)
+                           + (1 if segment.moved >= segment.words else 0))
+                    append(segment._carry)
+            for sinks in state.recur_sinks.values():
+                for sink in sinks:
+                    append(1 if sink[1] > 0 else 0)
+        return tuple(parts)
+
+    def _mono_vector(self):
+        """Every monotone counter, in the fixed inventory order."""
+        vector = [self.memory_busy[m.name] for m in self.memories]
+        extend = vector.extend
+        extend(state.fired for state in self.state_list)
+        extend(seg.moved for seg in self._in_segs)
+        for seg in self._out_segs:
+            vector.append(seg.moved)
+            vector.append(seg.filled)
+        extend(sink[1] for sink in self._sinks)
+        return vector
+
+    def _try_batch(self):
+        """Detect a repeating steady-state window and replay it in bulk.
+
+        If the bounded state at the current cycle matches a snapshot
+        taken ``period`` cycles ago, the machine spent that window in a
+        limit cycle: replaying it advances every monotone counter by
+        the same delta. Apply as many repetitions as fit before any
+        boundary (segment end, instance budget, command arrival,
+        emission pattern change, deadline), then resume stepping.
+        """
+        # Join regions replay a data-dependent pop sequence per
+        # instance; batching resumes once they have all fired.
+        for state in self._join_states:
+            if not state.all_fired:
+                return
+        key = self._snapshot_key()
+        previous = self._history.get(key)
+        mono = self._mono_vector()
+        self._history[key] = (self.cycle, mono)
+        if previous is None:
+            if len(self._history) > _HISTORY_LIMIT:
+                self._history.clear()
+            return
+        prev_cycle, prev_mono = previous
+        period = self.cycle - prev_cycle
+        delta = [now - before for now, before in zip(mono, prev_mono)]
+        if not any(delta):
+            return  # static window; the idle skip handles those
+        repetitions = self._max_repetitions(period, delta, prev_mono)
+        if repetitions <= 0:
+            return
+        self._apply_repetitions(period, repetitions, delta)
+
+    def _max_repetitions(self, period, delta, prev_mono):
+        """How many whole periods fit before any behavior boundary.
+
+        Every monotone counter must stay strictly inside its segment or
+        instance budget (so no ``min(..., remaining)`` clamps, ``done``
+        flips, or cursor moves happen inside the extrapolated window),
+        and every instance fired in the window must emit the same word
+        counts as its counterpart in the observed period.
+        """
+        cycle = self.cycle
+        cap = (self.deadline - cycle) // period
+        if self.command_index < len(self.command_schedule):
+            ready = self.command_schedule[self.command_index][0]
+            cap = min(cap, (ready - 1 - cycle) // period)
+        index = len(self.memories)
+        fired_base = index
+        for state in self.state_list:
+            moved = delta[index]
+            if moved:
+                cap = min(
+                    cap, (state.total_instances - state.fired - 1) // moved
+                )
+            index += 1
+        for seg in self._in_segs:
+            moved = delta[index]
+            if moved:
+                cap = min(cap, (seg.words - seg.moved - 1) // moved)
+            index += 1
+        for seg in self._out_segs:
+            moved = delta[index]
+            if moved:
+                cap = min(cap, (seg.words - seg.moved - 1) // moved)
+            index += 1
+            filled = delta[index]
+            if filled:
+                cap = min(cap, (seg.words - seg.filled - 1) // filled)
+            index += 1
+        for sink in self._sinks:
+            drained = -delta[index]
+            if drained:
+                cap = min(cap, (sink[1] - 1) // drained)
+            index += 1
+        if cap <= 0:
+            return 0
+        # Emission patterns: instance f of the extrapolation must emit
+        # exactly what instance (f mod fires-per-period) of the observed
+        # window emitted, on every output.
+        for offset, state in enumerate(self.state_list):
+            fires = delta[fired_base + offset]
+            if not fires:
+                continue
+            first = prev_mono[fired_base + offset]
+            for out_name in state.out_ports:
+                values = state.emitted[out_name]
+                repetition = 0
+                while repetition < cap:
+                    base = state.fired + repetition * fires
+                    if any(
+                        values[base + j] != values[first + j]
+                        for j in range(fires)
+                    ):
+                        break
+                    repetition += 1
+                cap = min(cap, repetition)
+                if cap <= 0:
+                    return 0
+        return cap
+
+    def _apply_repetitions(self, period, repetitions, delta):
+        skipped = repetitions * period
+        index = 0
+        for memory_node in self.memories:
+            self.memory_busy[memory_node.name] += (
+                repetitions * delta[index]
+            )
+            index += 1
+        for state in self.state_list:
+            fires = repetitions * delta[index]
+            state.fired += fires
+            self.batch_instances += fires
+            index += 1
+        for seg in self._in_segs:
+            seg.moved += repetitions * delta[index]
+            index += 1
+        for seg in self._out_segs:
+            seg.moved += repetitions * delta[index]
+            index += 1
+            seg.filled += repetitions * delta[index]
+            index += 1
+        for sink in self._sinks:
+            sink[1] += repetitions * delta[index]
+            index += 1
+        cycle = self.cycle
+        for state in self.state_list:
+            if state.inflight:
+                state.inflight = [
+                    (completion + skipped, emission)
+                    for completion, emission in state.inflight
+                ]
+            if state.next_fire > cycle:
+                state.next_fire += skipped
+            if state.join_busy_until > cycle:
+                state.join_busy_until += skipped
+        if self.pending_recur:
+            self.pending_recur = [
+                (arrival + skipped if arrival > cycle else arrival,
+                 port, words)
+                for arrival, port, words in self.pending_recur
+            ]
+        self.cycle += skipped
+        self.batch_jumps += 1
+        self.batch_cycles += skipped
+        self._history.clear()
+
+    # -- diagnostics ----------------------------------------------------
+    def _stall_report(self):
+        """Per-region stall snapshot for deadlock diagnostics."""
+        lines = []
+        for name, state in self.states.items():
+            if name in self.region_finish:
+                continue
+            flags = []
+            if not self.region_started[name]:
+                flags.append("not started")
+            if self.blocked(name):
+                flags.append("barrier-blocked")
+            lines.append(
+                f"  region {name}: fired {state.fired}/"
+                f"{state.total_instances}, ii {state.ii}, "
+                f"inflight {len(state.inflight)}"
+                + (f" [{', '.join(flags)}]" if flags else "")
+            )
+            for port_name, (port, lanes) in state.in_ports.items():
+                lines.append(
+                    f"    in  {port_name}: fill {port.fill}/"
+                    f"{port.capacity} (needs {lanes}), "
+                    f"{self._segment_brief(port.active_segment())}"
+                )
+            for port_name, port in state.out_ports.items():
+                segment = None
+                for candidate in port.segments:
+                    if not candidate.done:
+                        segment = candidate
+                        break
+                lines.append(
+                    f"    out {port_name}: fill {port.fill}/"
+                    f"{port.capacity}, "
+                    f"{self._segment_brief(segment)}"
+                )
+        return "\n".join(lines)
+
+    @staticmethod
+    def _segment_brief(segment):
+        if segment is None:
+            return "segments exhausted"
+        detail = f"{segment.kind}"
+        if segment.kind == "mem":
+            detail += f"/{segment.channel}@{segment.memory_name}"
+        produced = ""
+        if segment.filled:
+            produced = f", {segment.filled} produced"
+        return (
+            f"segment {detail}: {segment.words - segment.moved}/"
+            f"{segment.words} words left{produced}"
+        )
+
+
 class CycleSimulator:
     """Simulate a compiled scope on its scheduled ADG."""
 
@@ -234,16 +985,37 @@ class CycleSimulator:
         self.timing = compute_timing(schedule, RoutingGraph(adg))
 
     # ------------------------------------------------------------------
-    def run(self, memory):
+    def run(self, memory, engine=None, telemetry=None):
         """Execute functionally, then replay with timing.
 
-        ``memory`` is mutated to the program's final state. Returns a
-        :class:`SimResult` whose ``cycles`` is the modeled wall-clock.
+        ``memory`` is mutated to the program's final state. ``engine``
+        picks the replay loop (``"event"`` skips cycles, ``"stepped"``
+        is the single-cycle oracle; both produce identical results).
+        ``telemetry`` optionally collects ``sim_*`` counters and
+        ``sim/*`` phase timers. Returns a :class:`SimResult` whose
+        ``cycles`` is the modeled wall-clock.
         """
+        engine = _resolve_engine(engine)
+        telemetry = telemetry or Telemetry(enabled=False)
         trace = {}
-        execute_scope(self.scope, memory, trace=trace)
-        states = self._build_states(trace)
-        return self._replay(states, memory)
+        with telemetry.timer("sim/functional"):
+            execute_scope(self.scope, memory, trace=trace)
+        with telemetry.timer("sim/build"):
+            states = self._build_states(trace)
+            replay = _Replay(self, states)
+        with telemetry.timer("sim/replay"):
+            result = replay.replay(engine, memory)
+        telemetry.incr("sim_runs")
+        telemetry.incr("sim_cycles_modeled", result.cycles)
+        telemetry.incr("sim_steps_executed", replay.steps)
+        telemetry.incr("sim_cycles_skipped",
+                       replay.idle_cycles + replay.batch_cycles)
+        telemetry.incr("sim_idle_jumps", replay.idle_jumps)
+        telemetry.incr("sim_idle_cycles_skipped", replay.idle_cycles)
+        telemetry.incr("sim_bulk_fire_events", replay.batch_jumps)
+        telemetry.incr("sim_bulk_cycles_skipped", replay.batch_cycles)
+        telemetry.incr("sim_bulk_instances", replay.batch_instances)
+        return result
 
     # ------------------------------------------------------------------
     def _port_capacity(self, region_name, dfg_port_name):
@@ -373,303 +1145,12 @@ class CycleSimulator:
                     state.recur_sinks[out_name] = sinks
         return states
 
-    # ------------------------------------------------------------------
-    def _replay(self, states, memory):
-        cycle = 0
-        memory_busy = {m.name: 0 for m in self.adg.memories()}
-        pending_recur = []  # (arrival_cycle, consumer_port, words)
 
-        # Command pipeline: (ready_cycle, command); streams activate when
-        # the core reaches them.
-        command_schedule = []
-        clock = 0
-        barrier_regions = []
-        for command in self.program:
-            if command.kind is CommandKind.CONFIG:
-                clock += self.config_cycles
-            else:
-                clock += command.issue_cycles
-            command_schedule.append((clock, command))
-            if command.kind is CommandKind.BARRIER:
-                barrier_regions.append((clock, command.region))
-        command_index = 0
-        region_started = {name: False for name in states}
-        region_finish = {}
-
-        total_words = sum(
-            seg.words
-            for state in states.values()
-            for port, _lanes in state.in_ports.values()
-            for seg in port.segments
-        ) + 1
-        deadline = self.config_cycles + _DEADLOCK_FACTOR * (
-            total_words + sum(s.total_instances * s.ii
-                              for s in states.values()) + 64
-        )
-
-        def region_blocked_by_barrier(region_name):
-            order = [r.name for r in self.scope.regions]
-            index = order.index(region_name)
-            for barrier_name in self.scope.barriers:
-                barrier_index = order.index(barrier_name)
-                if barrier_index < index:
-                    if not states[barrier_name].done():
-                        return True
-            return False
-
-        while True:
-            # 1. Core: activate stream segments whose issue time arrived.
-            while (command_index < len(command_schedule)
-                   and command_schedule[command_index][0] <= cycle):
-                _, command = command_schedule[command_index]
-                if command.kind in (CommandKind.ISSUE_STREAM,
-                                    CommandKind.ISSUE_CONST,
-                                    CommandKind.ISSUE_RECUR):
-                    region_started[command.region] = True
-                command_index += 1
-
-            # 2. Recurrence deliveries.
-            still_pending = []
-            for arrival, port, words in pending_recur:
-                if arrival <= cycle:
-                    segment = port.active_segment()
-                    take = min(words, max(1, port.space))
-                    if segment is not None and segment.kind == "recur":
-                        moved = segment.serve(take)
-                        port.fill += moved * segment.repeat
-                        words -= moved
-                    if words > 0:
-                        still_pending.append((arrival, port, words))
-                else:
-                    still_pending.append((arrival, port, words))
-            pending_recur = still_pending
-
-            # 3. Memory engines serve active read streams and drain
-            #    output write streams.
-            self._service_memories(
-                states, region_started, region_blocked_by_barrier,
-                memory_busy, cycle,
-            )
-
-            # 4. Const segments refill freely.
-            for state in states.values():
-                if not region_started[state.region.name]:
-                    continue
-                for port, _lanes in state.in_ports.values():
-                    segment = port.active_segment()
-                    if segment is not None and segment.kind == "const":
-                        moved = segment.serve(port.space)
-                        port.fill += moved
-
-            # 5. Fabric: complete in-flight instances, then fire.
-            for state in states.values():
-                self._complete_inflight(state, cycle, pending_recur)
-            for state in states.values():
-                if not region_started[state.region.name]:
-                    continue
-                if region_blocked_by_barrier(state.region.name):
-                    continue
-                self._try_fire(state, cycle)
-
-            # 6. Termination.
-            for name, state in states.items():
-                if name not in region_finish and state.done():
-                    region_finish[name] = cycle
-            if (command_index >= len(command_schedule)
-                    and len(region_finish) == len(states)):
-                break
-            cycle += 1
-            if cycle > deadline:
-                stuck = [n for n in states if n not in region_finish]
-                raise SimulationError(
-                    f"simulation deadlock at cycle {cycle}; "
-                    f"unfinished regions: {stuck}"
-                )
-
-        result = SimResult(
-            cycles=cycle + 1,
-            memory=memory,
-            region_cycles=region_finish,
-            memory_busy=memory_busy,
-            instances={n: s.fired for n, s in states.items()},
-            config_cycles=self.config_cycles,
-        )
-        return result
-
-    # ------------------------------------------------------------------
-    def _service_memories(self, states, region_started, blocked, busy,
-                          cycle):
-        for memory_node in self.adg.memories():
-            line_budget = 1          # one line transaction per cycle
-            indirect_budget = memory_node.banks
-            scalar_ready = (cycle % SCALAR_ACCESS_CYCLES) == 0
-            served = False
-            # Round-robin across regions and ports, reads then writes.
-            for state in states.values():
-                if not region_started[state.region.name]:
-                    continue
-                if blocked(state.region.name):
-                    continue
-                for port, _lanes in state.in_ports.values():
-                    segment = port.active_segment()
-                    if (segment is None or segment.kind != "mem"
-                            or segment.memory_name != memory_node.name):
-                        continue
-                    moved = self._serve_segment(
-                        segment, port.space, line_budget,
-                        indirect_budget, scalar_ready,
-                    )
-                    if moved:
-                        port.fill += moved
-                        served = True
-                        if segment.channel == "line":
-                            line_budget -= 1
-                        elif segment.channel == "indirect":
-                            indirect_budget -= moved
-                        else:
-                            scalar_ready = False
-                for port in state.out_ports.values():
-                    segment = port.drain_segment()
-                    if (segment is None
-                            or segment.memory_name != memory_node.name):
-                        continue
-                    moved = self._serve_segment(
-                        segment, min(port.fill,
-                                     segment.filled - segment.moved),
-                        line_budget, indirect_budget, scalar_ready,
-                    )
-                    if moved:
-                        port.fill -= moved
-                        served = True
-                        if segment.channel == "line":
-                            line_budget -= 1
-                        elif segment.channel == "indirect":
-                            indirect_budget -= moved
-                        else:
-                            scalar_ready = False
-            if served:
-                busy[memory_node.name] += 1
-
-    def _serve_segment(self, segment, available_words, line_budget,
-                       indirect_budget, scalar_ready):
-        if segment.channel == "line":
-            if line_budget <= 0:
-                return 0
-            budget = min(segment.rate_words + segment._carry,
-                         available_words)
-            moved = segment.serve(budget)
-            segment._carry = max(
-                0.0, segment.rate_words + segment._carry - moved - 0.0
-            ) if moved else 0.0
-            return moved
-        if segment.channel == "indirect":
-            if indirect_budget <= 0:
-                return 0
-            return segment.serve(min(indirect_budget, available_words))
-        # scalar
-        if not scalar_ready:
-            return 0
-        return segment.serve(min(1, available_words))
-
-    # ------------------------------------------------------------------
-    def _complete_inflight(self, state, cycle, pending_recur):
-        remaining = []
-        for completion, emission in state.inflight:
-            if completion > cycle:
-                remaining.append((completion, emission))
-                continue
-            for out_name, words in emission.items():
-                port = state.out_ports[out_name]
-                recur_words, memory_words = port.assign_production(words)
-                port.fill += memory_words
-                if recur_words:
-                    # Distribute to the recurrence consumers in order.
-                    for sink in state.recur_sinks.get(out_name, ()):
-                        consumer_port, left = sink
-                        if left <= 0 or recur_words <= 0:
-                            continue
-                        take = min(recur_words, left)
-                        sink[1] -= take
-                        recur_words -= take
-                        pending_recur.append(
-                            (cycle + RECURRENCE_LATENCY, consumer_port,
-                             take)
-                        )
-        state.inflight = remaining
-
-    def _try_fire(self, state, cycle):
-        if state.all_fired or cycle < state.next_fire:
-            return
-        if state.region.join_spec is not None:
-            self._try_fire_join(state, cycle)
-            return
-        # Static/pipelined region: full vectors at every input, room at
-        # every output.
-        for port, lanes in state.in_ports.values():
-            if port.fill < lanes:
-                return
-        emission = {
-            out_name: state.emitted[out_name][state.fired]
-            for out_name in state.out_ports
-        }
-        for out_name, words in emission.items():
-            port = state.out_ports[out_name]
-            inflight_words = sum(
-                e.get(out_name, 0) for _, e in state.inflight
-            )
-            if port.fill + inflight_words + words > port.capacity:
-                return
-        for port, lanes in state.in_ports.values():
-            port.fill -= lanes
-        state.inflight.append((cycle + state.latency, emission))
-        state.fired += 1
-        state.next_fire = cycle + state.ii
-
-    def _try_fire_join(self, state, cycle):
-        """Merge-join consumption: one comparison per cycle; the next
-        instance fires after its recorded pops complete."""
-        if cycle < state.join_busy_until:
-            return
-        if state.join_cursor >= len(state.join_pops):
-            # Tail pops (unmatched remainder) happen without firing.
-            return
-        left_pops, right_pops = state.join_pops[state.join_cursor]
-        spec = state.region.join_spec
-        left_ports = [spec.left_key] + list(spec.left_payloads)
-        right_ports = [spec.right_key] + list(spec.right_payloads)
-        for name in left_ports:
-            port, _lanes = state.in_ports[name]
-            if port.fill < left_pops:
-                return
-        for name in right_ports:
-            port, _lanes = state.in_ports[name]
-            if port.fill < right_pops:
-                return
-        emission = {
-            out_name: state.emitted[out_name][state.fired]
-            for out_name in state.out_ports
-        }
-        for out_name, words in emission.items():
-            port = state.out_ports[out_name]
-            if port.fill + words > port.capacity:
-                return
-        for name in left_ports:
-            state.in_ports[name][0].fill -= left_pops
-        for name in right_ports:
-            state.in_ports[name][0].fill -= right_pops
-        comparisons = max(1, left_pops + right_pops - 1)
-        comparisons *= state.join_cycle_per_comparison
-        state.join_busy_until = cycle + comparisons
-        state.inflight.append((cycle + state.latency, emission))
-        state.fired += 1
-        state.join_cursor += 1
-        state.next_fire = cycle + max(state.ii, comparisons)
-
-
-def simulate(adg, compiled, memory, config_cycles=None):
+def simulate(adg, compiled, memory, config_cycles=None, engine=None,
+             telemetry=None):
     """Convenience: simulate a :class:`CompiledKernel` on ``adg``."""
     simulator = CycleSimulator(
         adg, compiled.scope, compiled.schedule,
         program=compiled.program, config_cycles=config_cycles,
     )
-    return simulator.run(memory)
+    return simulator.run(memory, engine=engine, telemetry=telemetry)

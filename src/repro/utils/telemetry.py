@@ -3,7 +3,11 @@
 The DSE explorer wraps every stage of its per-candidate pipeline
 (mutate -> repair -> estimate) in :class:`Telemetry` timers and counters
 so a run can report where its wall-clock went and how many candidates it
-evaluated, rejected, or failed. The layer is deliberately small:
+evaluated, rejected, or failed. The scheduler reports its incremental-
+evaluation effectiveness as ``sched_*``/``timing_*`` counters, and the
+cycle simulator its replay-engine effectiveness as ``sim_*`` counters
+(steps executed, cycles skipped, bulk-fire events) plus ``sim/*`` phase
+timers. The layer is deliberately small:
 
 * **Timers** — ``with telemetry.timer("compile"):`` accumulates wall
   time under a name. Timers nest: opening ``"estimate"`` inside
