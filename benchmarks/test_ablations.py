@@ -11,7 +11,6 @@ arguments:
   limited activity ratio of floating-point reductions (Section V-B).
 """
 
-import pytest
 from conftest import run_once
 
 from repro.adg import topologies

@@ -31,7 +31,7 @@ def test_fig10_compiler_vs_manual(benchmark):
         title="Figure 10: manual/compiled cycle ratio (1.0 = parity)",
     ))
     print(f"geomean compiled-vs-manual: {summary['mean_relative']:.2f} "
-          f"(paper: 0.80-0.89)")
+          "(paper: 0.80-0.89)")
     # Every pair must compile and simulate.
     assert summary["succeeded"] == summary["pairs"], [
         r for r in rows if "error" in r

@@ -20,7 +20,7 @@ def test_fig11_repair_beats_remap(benchmark):
         rows, title="Figure 11: best objective so far (repair vs remap)"
     ))
     print(f"repair advantage: {summary['repair_advantage']:.2f}x "
-          f"objective (paper ~1.3x); scheduling effort: "
+          "objective (paper ~1.3x); scheduling effort: "
           f"{summary['repair_effort']} vs {summary['remap_effort']} "
           f"iterations ({summary['effort_saving']*100:.0f}% saved)")
     assert summary["repair_final"] > 0

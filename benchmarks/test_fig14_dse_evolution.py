@@ -28,7 +28,7 @@ def test_fig14_dse_trajectories(benchmark):
         print(f"  {set_name}: area saving {stats['area_saving']*100:.0f}%  "
               f"objective x{stats['objective_improvement']:.2f}")
     print(f"mean area saving {summary['mean_area_saving']*100:.0f}% "
-          f"(paper: 42%)")
+          "(paper: 42%)")
     # Direction: exploration saves area and improves the objective.
     assert summary["mean_area_saving"] >= 0.10
     assert summary["mean_objective_improvement"] >= 1.2

@@ -26,7 +26,7 @@ def test_fig15_validation_and_comparison(benchmark):
         comparison_rows, title="Figure 15b: generated vs prior hardware"
     ))
     print(f"mean validation gap {summary['mean_validation_gap_pct']:.1f}% "
-          f"(paper: 4-7%)  perf2/mm2 ratio "
+          "(paper: 4-7%)  perf2/mm2 ratio "
           f"{summary['mean_perf2_mm2_ratio']:.2f} (paper: ~1.3x)")
     # Model validation: single-digit-ish percentage gap, estimates below
     # synthesis (the fabric-integration overhead).

@@ -11,7 +11,7 @@ checks the distinguishing characteristic of each.
 from conftest import run_once
 
 from repro.adg import topologies, validate_adg
-from repro.adg.components import Resourcing, Scheduling
+from repro.adg.components import Scheduling
 from repro.harness.report import format_table
 
 

@@ -18,8 +18,8 @@ pure Python:
 * :mod:`repro.harness` -- drivers that regenerate every table and figure.
 """
 
-__version__ = "1.0.0"
-
 from repro import errors
+
+__version__ = "1.0.0"
 
 __all__ = ["errors", "__version__"]

@@ -147,7 +147,7 @@ class ProcessingElement(Component):
         if not is_power_of_two(self.decomposable_to):
             raise AdgError(
                 f"{self.name}: decomposable_to {self.decomposable_to} "
-                f"is not a power of two"
+                "is not a power of two"
             )
         if self.decomposable_to > self.width:
             raise AdgError(
@@ -215,7 +215,7 @@ class Switch(Component):
         if not is_power_of_two(self.decomposable_to):
             raise AdgError(
                 f"{self.name}: decomposable_to {self.decomposable_to} "
-                f"is not a power of two"
+                "is not a power of two"
             )
         if self.decomposable_to > self.width:
             raise AdgError(

@@ -83,7 +83,7 @@ def _check_memory_buses(adg, problems):
             if not isinstance(peer, SyncElement):
                 problems.append(
                     f"memory {memory.name} drives non-sync node {peer.name} "
-                    f"(buses connect memories only to sync elements)"
+                    "(buses connect memories only to sync elements)"
                 )
         for link in adg.in_links(memory.name):
             peer = adg.node(link.src)
@@ -103,7 +103,7 @@ def _check_sync_orientation(adg, problems):
                 if not isinstance(peer, (Memory, ControlCore)):
                     problems.append(
                         f"input port {port.name} fed by {peer.name}; input "
-                        f"ports accept data from memories only"
+                        "ports accept data from memories only"
                     )
             for link in adg.out_links(port.name):
                 peer = adg.node(link.dst)
@@ -118,7 +118,7 @@ def _check_sync_orientation(adg, problems):
                 if not isinstance(peer, Memory):
                     problems.append(
                         f"output port {port.name} drives {peer.name}; output "
-                        f"ports deliver data to memories only"
+                        "ports deliver data to memories only"
                     )
             for link in adg.in_links(port.name):
                 peer = adg.node(link.src)
@@ -141,7 +141,7 @@ def _check_control_core(adg, problems):
     if cores and fabric and not adg.out_links(cores[0].name):
         problems.append(
             f"control core {cores[0].name} has no link into the fabric; "
-            f"configuration messages cannot be delivered"
+            "configuration messages cannot be delivered"
         )
 
 

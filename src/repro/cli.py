@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro dse --workloads mm,md,join --iters 10 --out design.json
     python -m repro hwgen design.json --verilog design.v --paths 3
     python -m repro report fig13
+    python -m repro verify mm --target softbrain
+    python -m repro fuzz --cases 50 --seed 2026 --out fuzz-repros
 
 Every subcommand is a thin shell over the library; scripts wanting more
 control should import :mod:`repro` directly.
@@ -157,6 +159,7 @@ def cmd_dse(args):
             workers=args.workers,
             batch=args.batch,
             telemetry=telemetry,
+            verify_schedules=args.verify,
         )
         result = explorer.run(max_iters=args.iters)
     for entry in result.history:
@@ -173,6 +176,50 @@ def cmd_dse(args):
         save_adg(result.best_adg, args.out)
         print(f"wrote {args.out}")
     return 0
+
+
+def cmd_verify(args):
+    from repro.verify import verify_compiled
+    from repro.workloads import kernel as make_kernel
+
+    adg = _target_adg(args.target)
+    workload = make_kernel(args.workload, args.scale)
+    print(f"compiling {args.workload!r} for {adg.name!r} ...")
+    result = compile_kernel(
+        workload, adg,
+        rng=DeterministicRng(args.seed), max_iters=args.sched_iters,
+    )
+    if not result.ok:
+        print("no legal mapping; nothing to verify")
+        return 1
+    report = verify_compiled(adg, result)
+    print(report.describe(limit=args.limit))
+    return 0 if report.ok else 1
+
+
+def cmd_fuzz(args):
+    from repro.verify import replay_repro, run_fuzz
+
+    if args.replay:
+        result = replay_repro(args.replay)
+        print(f"replayed {args.replay}: {result.status}")
+        for divergence in result.divergences:
+            print(f"  {divergence['kind']}: {divergence['detail']}")
+        return 0 if not result.failed else 1
+
+    summary = run_fuzz(
+        cases=args.cases,
+        seed=args.seed,
+        shrink=args.shrink,
+        out_dir=args.out,
+        preset=args.preset,
+        max_mutations=args.max_mutations,
+        progress=print,
+    )
+    print(summary.describe())
+    for path in summary.repro_paths:
+        print(f"wrote {path}")
+    return 0 if summary.ok else 1
 
 
 def cmd_hwgen(args):
@@ -294,6 +341,39 @@ def build_parser():
                             help="write a JSONL run log here")
     dse_parser.add_argument("--out", default=None,
                             help="write the best design as JSON")
+    dse_parser.add_argument("--verify", action="store_true",
+                            help="debug mode: lint every repaired and "
+                                 "final schedule (repro.verify)")
+
+    verify_parser = sub.add_parser(
+        "verify", help="compile a workload and run every verifier"
+    )
+    verify_parser.add_argument("workload")
+    verify_parser.add_argument("--target", default="softbrain")
+    verify_parser.add_argument("--scale", type=float, default=0.1)
+    verify_parser.add_argument("--sched-iters", type=int, default=150)
+    verify_parser.add_argument("--seed", type=int, default=0)
+    verify_parser.add_argument("--limit", type=int, default=25,
+                               help="max diagnostics to print")
+
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="differential fuzzing across interp/sim/config"
+    )
+    fuzz_parser.add_argument("--cases", type=int, default=25)
+    fuzz_parser.add_argument("--seed", type=int, default=2026)
+    fuzz_parser.add_argument("--shrink", default=True,
+                             action=argparse.BooleanOptionalAction,
+                             help="minimize failing cases before "
+                                  "writing repros")
+    fuzz_parser.add_argument("--out", default=None,
+                             help="directory for shrunk JSON repro files")
+    fuzz_parser.add_argument("--preset", default="softbrain",
+                             choices=sorted(topologies.PRESETS))
+    fuzz_parser.add_argument("--max-mutations", type=int, default=2,
+                             help="ADG mutations per case (0 disables)")
+    fuzz_parser.add_argument("--replay", default=None, metavar="FILE",
+                             help="re-run one serialized repro file "
+                                  "instead of fuzzing")
 
     hwgen_parser = sub.add_parser(
         "hwgen", help="generate hardware artifacts for a design"
@@ -325,6 +405,8 @@ _COMMANDS = {
     "run": cmd_run,
     "compile": cmd_compile,
     "dse": cmd_dse,
+    "verify": cmd_verify,
+    "fuzz": cmd_fuzz,
     "hwgen": cmd_hwgen,
     "report": cmd_report,
 }

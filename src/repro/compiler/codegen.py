@@ -15,7 +15,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.ir.region import as_stream_list
-from repro.ir.stream import ConstStream, RecurrenceStream, StreamDirection
+from repro.ir.stream import ConstStream, RecurrenceStream
 
 
 class CommandKind(enum.Enum):

@@ -13,7 +13,7 @@ program.
 from dataclasses import dataclass, field
 
 from repro.compiler.codegen import generate_control_program
-from repro.errors import CompilationError
+from repro.errors import CompilationError, VerificationError
 from repro.estimation.perf_model import PerformanceModel
 from repro.scheduler.stochastic import SpatialScheduler
 from repro.scheduler.timing import compute_timing
@@ -32,6 +32,7 @@ class CompiledKernel:
     program: object = None            # ControlProgram
     rejected: list = field(default_factory=list)  # (params, reason)
     sched_effort: int = 0             # scheduler iterations consumed
+    verify_report: object = None      # VerifyReport when verify= was set
 
     @property
     def ok(self):
@@ -52,6 +53,7 @@ def compile_kernel(
     initial_schedules=None,
     attempts=2,
     telemetry=None,
+    verify=None,
 ):
     """Compile ``kernel`` for ``adg``.
 
@@ -66,10 +68,20 @@ def compile_kernel(
     telemetry:
         Optional :class:`repro.utils.telemetry.Telemetry` threaded into
         the spatial scheduler (evaluation/cache counters, phase timers).
+    verify:
+        ``None`` (default) skips verification. ``"report"`` runs the
+        :mod:`repro.verify` checkers over the winning mapping and
+        attaches the result as ``verify_report``. ``"strict"``
+        additionally raises :class:`~repro.errors.VerificationError`
+        when any error-level diagnostic is found.
 
     Returns a :class:`CompiledKernel`; ``result.ok`` is False when no
     variant could be legally mapped.
     """
+    if verify not in (None, "report", "strict"):
+        raise ValueError(
+            f"verify must be None, 'report', or 'strict'; got {verify!r}"
+        )
     model = perf_model or PerformanceModel()
     features = adg.feature_set()
     candidates = []
@@ -134,6 +146,20 @@ def compile_kernel(
     result.sched_effort = effort
     if result.ok:
         result.program = generate_control_program(result.scope, result.schedule)
+    if verify and result.ok:
+        from repro.verify import verify_compiled
+
+        result.verify_report = verify_compiled(adg, result)
+        if telemetry is not None:
+            telemetry.incr("verify_reports", 1)
+            telemetry.incr(
+                "verify_errors", len(result.verify_report.errors)
+            )
+        if verify == "strict" and not result.verify_report.ok:
+            raise VerificationError(
+                f"kernel {kernel.name!r}: "
+                f"{result.verify_report.describe()}"
+            )
     return result
 
 

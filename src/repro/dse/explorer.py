@@ -115,6 +115,7 @@ class EvalContext:
     perf_model: object
     area_budget_mm2: float
     power_budget_mw: float
+    verify_schedules: bool = False
 
 
 @dataclass
@@ -180,6 +181,21 @@ def _compile_kernels(context, adg, rng, warm_schedules=None, budget=None):
         }
         return mapped, cycles, schedules, counters, sched_seconds
 
+    verify = context.verify_schedules
+
+    def _debug_lint(schedule, allow_partial):
+        # DSE debug mode: catch repair/search corruption at the source.
+        from repro.verify import lint_schedule
+
+        report = lint_schedule(
+            schedule, adg, allow_partial=allow_partial
+        )
+        counters["verify_lints"] = counters.get("verify_lints", 0) + 1
+        counters["verify_errors"] = (
+            counters.get("verify_errors", 0) + len(report.errors)
+        )
+        return report
+
     for kernel in context.kernels:
         initial = None
         if context.use_repair and warm_schedules:
@@ -189,6 +205,10 @@ def _compile_kernels(context, adg, rng, warm_schedules=None, budget=None):
             ).items():
                 clone = schedule.clone()
                 strip_invalid(clone, adg)
+                if verify:
+                    # Repaired schedules are legally *partial* (stripped
+                    # state) but must never be structurally broken.
+                    _debug_lint(clone, allow_partial=True)
                 initial[params] = clone
         if initial:
             counters["schedule_repairs"] += 1
@@ -206,6 +226,8 @@ def _compile_kernels(context, adg, rng, warm_schedules=None, budget=None):
             return _finish(None)
         if not result.ok:
             return _finish(None)
+        if verify:
+            _debug_lint(result.schedule, allow_partial=False)
         results[kernel.name] = result
         cycles[kernel.name] = result.perf.cycles
         schedules[kernel.name] = {result.params: result.schedule}
@@ -286,6 +308,7 @@ class DesignSpaceExplorer:
         workers=1,
         batch=None,
         telemetry=None,
+        verify_schedules=False,
     ):
         self.kernels = list(kernels)
         self.initial_adg = initial_adg
@@ -296,6 +319,7 @@ class DesignSpaceExplorer:
         # (every later step starts from a repaired schedule).
         self.initial_sched_iters = initial_sched_iters or sched_iters * 5
         self.use_repair = use_repair
+        self.verify_schedules = verify_schedules
         self.area_power = area_power_model or default_model()
         self.perf_model = perf_model or PerformanceModel()
         self.objective = DseObjective(
@@ -312,6 +336,7 @@ class DesignSpaceExplorer:
             kernels=self.kernels,
             sched_iters=self.sched_iters,
             use_repair=self.use_repair,
+            verify_schedules=self.verify_schedules,
             area_power=self.area_power,
             perf_model=self.perf_model,
             area_budget_mm2=self.objective.area_budget_mm2,

@@ -65,3 +65,13 @@ class HwGenError(DsagenError):
 
 class SimulationError(DsagenError):
     """Cycle-level simulation reached an illegal state."""
+
+
+class VerificationError(DsagenError):
+    """Cross-layer verification found a real inconsistency.
+
+    Raised only by opt-in verification entry points
+    (``compile_kernel(verify=...)``, the ``repro verify`` CLI); the
+    :mod:`repro.verify` library functions themselves return structured
+    diagnostics instead of raising.
+    """

@@ -210,7 +210,7 @@ class _FunctionLowering:
                 self._lower_if(statement)
             else:
                 raise SemanticError(
-                    f"unsupported statement in offload body: "
+                    "unsupported statement in offload body: "
                     f"{type(statement).__name__}"
                 )
 
@@ -238,7 +238,7 @@ class _FunctionLowering:
             if statement.op != "=":
                 raise SemanticError(
                     f"compound assignment to scalar {name!r} outside an "
-                    f"accumulator pattern"
+                    "accumulator pattern"
                 )
             self.scalars[name] = self._lanes(statement.value)
             return
@@ -340,7 +340,7 @@ class _FunctionLowering:
             if expr.name in self.loop_vars:
                 raise SemanticError(
                     f"loop variable {expr.name!r} used as a value "
-                    f"(only subscripts may use it)"
+                    "(only subscripts may use it)"
                 )
             raise SemanticError(f"unknown variable {expr.name!r}")
         if isinstance(expr, Index):
@@ -418,7 +418,7 @@ class _FunctionLowering:
         if nested is None:
             raise SemanticError(
                 f"subscript of {index_expr.array!r} is neither affine "
-                f"nor an indirect pattern"
+                "nor an indirect pattern"
             )
         nested_affine = analyze_affine(nested.subscript, self.env,
                                        self.loop_vars)
@@ -553,7 +553,7 @@ class _FunctionLowering:
             if affine.coeff(inner_var) == 0:
                 raise SemanticError(
                     f"store into {array!r} is loop-invariant in the "
-                    f"offload loop"
+                    "offload loop"
                 )
             self.dfg.add_output(port, lanes)
             stream = self._linear_stream(
@@ -568,7 +568,7 @@ class _FunctionLowering:
             if record["node"] is None:
                 raise SemanticError(
                     f"accumulator {name!r} is never updated in the "
-                    f"offload loop"
+                    "offload loop"
                 )
             store = self._find_accumulator_store(name)
             affine = analyze_affine(
@@ -578,7 +578,7 @@ class _FunctionLowering:
             if affine is None:
                 raise SemanticError(
                     f"accumulator store into {store.target.array!r} "
-                    f"is not affine"
+                    "is not affine"
                 )
             port = f"acc_{name}"
             self.dfg.add_output(port, record["node"])

@@ -17,15 +17,21 @@ DEFAULT_KERNELS = ("mm", "md", "join")
 
 
 def run(kernel_names=DEFAULT_KERNELS, scale=0.05, dse_iters=12,
-        sched_iters=18, seed=0):
+        sched_iters=18, seed=0, verify=False):
     """Returns ``(rows, summary)``; rows carry both trajectories.
 
     Per-step scheduling budgets are deliberately tight: the paper's
     effect appears when remapping from scratch cannot finish within the
-    budget while a repaired schedule needs only local fixes."""
+    budget while a repaired schedule needs only local fixes.
+
+    ``verify=True`` turns on the DSE debug mode: every repaired and
+    every final schedule is run through :mod:`repro.verify`'s linter,
+    and the per-mode ``verify_lints``/``verify_errors`` counters appear
+    in the summary."""
     trajectories = {}
     finals = {}
     efforts = {}
+    mode_counters = {}
     for mode, use_repair in (("repair", True), ("remap", False)):
         kernels = [make_kernel(name, scale) for name in kernel_names]
         explorer = DesignSpaceExplorer(
@@ -34,8 +40,12 @@ def run(kernel_names=DEFAULT_KERNELS, scale=0.05, dse_iters=12,
             rng=DeterministicRng(("fig11", seed)),
             sched_iters=sched_iters,
             use_repair=use_repair,
+            verify_schedules=verify,
         )
         result = explorer.run(max_iters=dse_iters)
+        mode_counters[mode] = dict(
+            result.telemetry.get("counters", {})
+        )
         best_so_far = []
         best = float("-inf")
         for entry in result.history:
@@ -77,5 +87,9 @@ def run(kernel_names=DEFAULT_KERNELS, scale=0.05, dse_iters=12,
             1.0 - efforts["repair"] / efforts["remap"]
             if efforts["remap"] else 0.0
         ),
+        # Repair/remap bookkeeping (and, with verify=True, linter
+        # activity) per mode, straight from the explorer telemetry.
+        "repair_counters": mode_counters["repair"],
+        "remap_counters": mode_counters["remap"],
     }
     return rows, summary

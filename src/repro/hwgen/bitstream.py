@@ -124,7 +124,7 @@ def encode_bitstream(adg, schedule):
                 if existing.get(out_idx, in_idx) != in_idx:
                     raise HwGenError(
                         f"switch {node.name}: output {out_idx} driven by "
-                        f"two different inputs"
+                        "two different inputs"
                     )
                 existing[out_idx] = in_idx
         if links:

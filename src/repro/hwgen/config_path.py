@@ -88,7 +88,7 @@ def generate_config_paths(adg, num_paths, max_rounds=200):
     unreachable = [n for n in members if n not in reachable]
     if unreachable:
         raise HwGenError(
-            f"nodes unreachable by configuration messages: "
+            "nodes unreachable by configuration messages: "
             f"{sorted(unreachable)[:5]}"
         )
 
@@ -109,7 +109,7 @@ def generate_config_paths(adg, num_paths, max_rounds=200):
         hop = _bfs_path(adjacency, walk["position"], remaining)
         if hop is None:
             raise HwGenError(
-                f"cannot extend configuration walk from "
+                "cannot extend configuration walk from "
                 f"{walk['position']!r}"
             )
         walk["nodes"].extend(hop)

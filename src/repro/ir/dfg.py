@@ -255,7 +255,7 @@ class Dfg:
                 if producer.kind is NodeKind.OUTPUT:
                     raise IrError(
                         f"node {node.name or node.node_id} consumes an "
-                        f"output node"
+                        "output node"
                     )
                 max_lanes = producer.lanes if producer.kind is NodeKind.INPUT else 1
                 if ref.lane >= max_lanes:

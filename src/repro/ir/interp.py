@@ -109,7 +109,7 @@ class _RecurrenceQueue:
         if self.cursor >= len(self.items):
             raise IrError(
                 f"recurrence from {source_port!r} read before data was "
-                f"produced (lag violated)"
+                "produced (lag violated)"
             )
         value = self.items[self.cursor]
         self.cursor += 1
@@ -248,7 +248,7 @@ class _OutputRouter:
             else:
                 raise IrError(
                     f"{context}: stream type {type(stream).__name__} "
-                    f"cannot drain an output port"
+                    "cannot drain an output port"
                 )
         self._segment_index = 0
         self._segment_cursor = 0
@@ -271,7 +271,7 @@ class _OutputRouter:
         else:
             raise IrError(
                 f"{self._context}: output port {self._port!r} produced "
-                f"more words than its streams consume"
+                "more words than its streams consume"
             )
         kind, payload, total = self._segments[self._segment_index]
         position = self._segment_cursor

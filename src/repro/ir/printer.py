@@ -50,7 +50,7 @@ def dfg_to_dot(dfg, name=None):
     for src, dst, index, lane in dfg.edges():
         style = ', style=dashed, color=gray40' if index == -1 else ""
         label = f' [label="l{lane}"{style}]' if lane else (
-            f" [style=dashed, color=gray40]" if index == -1 else ""
+            " [style=dashed, color=gray40]" if index == -1 else ""
         )
         lines.append(f"  n{src} -> n{dst}{label};")
     lines.append("}")

@@ -110,7 +110,7 @@ class OffloadRegion:
                     if stream.direction is not StreamDirection.READ:
                         raise IrError(
                             f"region {self.name}: input port {port!r} bound "
-                            f"to a write stream"
+                            "to a write stream"
                         )
         for port, binding in self.output_streams.items():
             if port not in output_names:
@@ -125,7 +125,7 @@ class OffloadRegion:
                 if stream.direction is not StreamDirection.WRITE:
                     raise IrError(
                         f"region {self.name}: output port {port!r} bound to "
-                        f"a read stream"
+                        "a read stream"
                     )
         missing_in = input_names - set(self.input_streams)
         if missing_in:
@@ -284,7 +284,7 @@ class ConfigScope:
             if not any(isinstance(s, RecurrenceStream) for s in streams):
                 raise IrError(
                     f"forward into {consumer!r}:{dst_port!r} must target a "
-                    f"recurrence stream"
+                    "recurrence stream"
                 )
         for name in self.barriers:
             self.region(name)

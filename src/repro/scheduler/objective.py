@@ -10,7 +10,7 @@ prefers progress toward a legal mapping.
 
 from dataclasses import dataclass
 
-from repro.adg.components import Memory, ProcessingElement, SyncElement
+from repro.adg.components import Memory, ProcessingElement
 from repro.scheduler.timing import compute_timing
 
 

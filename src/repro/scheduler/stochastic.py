@@ -10,7 +10,6 @@ Repair (Section V-A) falls out naturally: passing a partially valid
 schedule as the starting point resumes the same loop.
 """
 
-from repro.adg.components import Direction, MemoryKind
 from repro.errors import SchedulingError
 from repro.ir.dfg import NodeKind
 from repro.ir.region import as_stream_list
@@ -160,7 +159,7 @@ class SpatialScheduler:
                     )
                     if memory is None:
                         raise SchedulingError(
-                            f"no memory can execute stream on "
+                            "no memory can execute stream on "
                             f"{region.name}:{port} (array {stream.array!r})"
                         )
                     sched.bind_stream(region.name, port, memory.name)
@@ -469,7 +468,7 @@ class SpatialScheduler:
 
     def _reroute_congested(self, sched):
         link_load = sched.link_load()
-        hot = {l for l, load in link_load.items() if load > 1}
+        hot = {link for link, load in link_load.items() if load > 1}
         if not hot:
             return False
         congested = [

@@ -23,7 +23,7 @@ cheap, and merged into the cached per-region result without mutating it.
 
 from dataclasses import dataclass, field, replace
 
-from repro.adg.components import ProcessingElement, SyncElement
+from repro.adg.components import ProcessingElement
 from repro.ir.dfg import NodeKind
 from repro.ir.region import as_stream_list
 from repro.ir.stream import RecurrenceStream

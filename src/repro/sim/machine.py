@@ -400,7 +400,7 @@ class _Replay:
             if self.cycle > self.deadline:
                 raise SimulationError(
                     f"simulation deadlock at cycle {self.cycle}; "
-                    f"unfinished regions: "
+                    "unfinished regions: "
                     f"{[n for n in self.states if n not in self.region_finish]}"
                     f"\n{self._stall_report()}"
                 )

@@ -1,0 +1,80 @@
+"""Cross-layer differential verification (ISSUE 4).
+
+Three layers of correctness tooling over the compiler/scheduler/
+hardware/simulator stack:
+
+* :mod:`repro.verify.lint` — schedule legality from first principles;
+* :mod:`repro.verify.bitstream` — config encode/decode round trips and
+  control-program contract checks;
+* :mod:`repro.verify.fuzz` — seeded differential fuzzing with automatic
+  case shrinking and standalone JSON repro files.
+
+All checkers return :class:`~repro.verify.diagnostics.VerifyReport`
+objects; only the opt-in entry points (``compile_kernel(verify=...)``,
+the CLI) convert error-level diagnostics into
+:class:`~repro.errors.VerificationError`.
+"""
+
+from repro.verify.bitstream import (
+    check_bitstream_roundtrip,
+    check_control_program,
+)
+from repro.verify.diagnostics import Diagnostic, VerifyReport
+from repro.verify.fuzz import (
+    FuzzCase,
+    FuzzSummary,
+    generate_case,
+    load_repro,
+    replay_repro,
+    run_case,
+    run_fuzz,
+    shrink_case,
+    write_repro,
+)
+from repro.verify.lint import lint_schedule
+
+__all__ = [
+    "Diagnostic",
+    "FuzzCase",
+    "FuzzSummary",
+    "VerifyReport",
+    "check_bitstream_roundtrip",
+    "check_control_program",
+    "generate_case",
+    "lint_schedule",
+    "load_repro",
+    "replay_repro",
+    "run_case",
+    "run_fuzz",
+    "shrink_case",
+    "verify_compiled",
+    "write_repro",
+]
+
+
+def verify_compiled(adg, compiled, allow_partial=False):
+    """Run every applicable checker over one compiled kernel.
+
+    Lints the schedule, round-trips the bitstream, and checks the
+    control program (when present). Returns one merged
+    :class:`VerifyReport`; raises nothing.
+    """
+    report = VerifyReport(checker="verify")
+    if compiled.schedule is None:
+        report.add(
+            "completeness.no-schedule",
+            f"kernel {compiled.kernel_name!r} has no schedule to verify",
+            severity="warning" if allow_partial else "error",
+        )
+        return report
+    report.merge(
+        lint_schedule(compiled.schedule, adg, allow_partial=allow_partial)
+    )
+    report.merge(check_bitstream_roundtrip(adg, compiled.schedule))
+    if compiled.scope is not None and compiled.program is not None:
+        report.merge(
+            check_control_program(
+                compiled.scope, compiled.schedule, compiled.program
+            )
+        )
+    return report

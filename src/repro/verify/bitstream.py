@@ -1,0 +1,309 @@
+"""Configuration round-trip checking (Section VI cross-check).
+
+The bitstream is the one artifact that leaves the compiler's type-safe
+world: a schedule is flattened into packed integers that the hardware
+re-interprets positionally. :func:`check_bitstream_roundtrip` closes the
+loop in software — it derives each component's expected field layout and
+values *independently* from the ADG and the schedule, decodes the packed
+payload back through :meth:`NodeConfig.unpack`, and diffs the two. A
+``config.*`` diagnostic therefore means the encoder and the schedule
+disagree about what the hardware will do.
+
+:func:`check_control_program` applies the same idea to the software half
+of the interface: the generated command list must mention exactly the
+regions, ports, and memory bindings the schedule committed to.
+"""
+
+from repro.adg.components import ProcessingElement, Switch, SyncElement
+from repro.errors import AdgError, HwGenError
+from repro.hwgen.bitstream import OPCODE_IDS, encode_bitstream
+from repro.ir.dfg import NodeKind
+from repro.ir.region import as_stream_list
+from repro.ir.stream import ConstStream, RecurrenceStream
+from repro.utils.bits import bits_for_value
+from repro.verify.diagnostics import VerifyReport
+
+
+def check_bitstream_roundtrip(adg, schedule, bitstream=None):
+    """Encode ``schedule`` (unless ``bitstream`` is given), decode every
+    component's payload, and diff against schedule-derived expectations.
+
+    Returns a :class:`~repro.verify.diagnostics.VerifyReport`.
+    """
+    report = VerifyReport(checker="bitstream")
+    if bitstream is None:
+        try:
+            bitstream = encode_bitstream(adg, schedule)
+        except HwGenError as exc:
+            report.add(
+                "config.encode-failure",
+                f"encoder raised: {exc}",
+            )
+            return report
+
+    switch_routes, pe_sources = _expected_routing(adg, schedule, report)
+    node_names = set(adg.node_names())
+    for name in sorted(node_names - set(bitstream.configs)):
+        report.add(
+            "config.missing-node",
+            f"component {name!r} received no configuration word",
+            subject=name,
+        )
+    for name in sorted(set(bitstream.configs) - node_names):
+        report.add(
+            "config.unknown-node",
+            f"configuration addressed to {name!r}, which is not in the "
+            "ADG",
+            subject=name,
+        )
+
+    for name in sorted(node_names & set(bitstream.configs)):
+        component = adg.node(name)
+        config = bitstream.configs[name]
+        if isinstance(component, Switch):
+            expected = _expected_switch_fields(
+                adg, component, switch_routes.get(name, {})
+            )
+        elif isinstance(component, ProcessingElement):
+            expected = _expected_pe_fields(
+                adg, schedule, component, pe_sources.get(name, {})
+            )
+        elif isinstance(component, SyncElement):
+            expected = _expected_sync_fields(schedule, component)
+        else:
+            expected = {"enable": (0, 1)}
+        _diff_config(report, name, config, expected)
+    return report
+
+
+def _diff_config(report, name, config, expected):
+    """Decode ``config``'s payload with the independently derived layout
+    and compare field by field."""
+    expected_widths = {f: width for f, (_, width) in expected.items()}
+    actual_widths = {f: width for f, (_, width) in config.fields.items()}
+    if expected_widths != actual_widths:
+        missing = sorted(set(expected_widths) - set(actual_widths))
+        extra = sorted(set(actual_widths) - set(expected_widths))
+        differing = sorted(
+            f for f in set(expected_widths) & set(actual_widths)
+            if expected_widths[f] != actual_widths[f]
+        )
+        report.add(
+            "config.layout",
+            f"{name!r}: encoded field layout differs from the "
+            "schedule-derived layout",
+            subject=name, missing=missing, extra=extra, widths=differing,
+        )
+        return
+    decoded = config.unpack(expected_widths)
+    for field_name in sorted(expected):
+        want = expected[field_name][0]
+        got = decoded.get(field_name)
+        if got != want:
+            report.add(
+                "config.field-mismatch",
+                f"{name}.{field_name}: decoded {got}, schedule implies "
+                f"{want}",
+                subject=f"{name}.{field_name}", decoded=got, expected=want,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Independent reconstruction of expected configuration
+# ---------------------------------------------------------------------------
+
+def _link_index(links, link_id):
+    for index, link in enumerate(links):
+        if link.link_id == link_id:
+            return index
+    return None
+
+
+def _expected_routing(adg, schedule, report):
+    """Walk every route and derive switch routing tables and PE operand
+    sources, independently of the encoder's traversal."""
+    switch_routes = {}
+    pe_sources = {}
+    for edge, links in schedule.routes.items():
+        for hop, (first, second) in enumerate(zip(links, links[1:])):
+            try:
+                node = adg.node(adg.link(first).dst)
+            except AdgError:
+                continue  # broken routes are the linter's job
+            if not isinstance(node, Switch):
+                continue
+            in_idx = _link_index(adg.in_links(node.name), first)
+            out_idx = _link_index(adg.out_links(node.name), second)
+            if in_idx is None or out_idx is None:
+                continue
+            table = switch_routes.setdefault(node.name, {})
+            if table.setdefault(out_idx, in_idx) != in_idx:
+                report.add(
+                    "config.switch-conflict",
+                    f"switch {node.name!r} output {out_idx} claimed by "
+                    "two inputs across routes",
+                    subject=node.name, out_idx=out_idx,
+                )
+        if links:
+            try:
+                final = adg.link(links[-1])
+                consumer = adg.node(final.dst)
+            except AdgError:
+                continue
+            if isinstance(consumer, ProcessingElement):
+                in_idx = _link_index(
+                    adg.in_links(consumer.name), links[-1]
+                )
+                if in_idx is not None:
+                    pe_sources.setdefault(consumer.name, {})[
+                        (edge.dst_id, edge.operand_index)
+                    ] = in_idx
+    return switch_routes, pe_sources
+
+
+def _expected_switch_fields(adg, switch, routes):
+    out_count = max(1, len(adg.out_links(switch.name)))
+    in_count = max(1, len(adg.in_links(switch.name)))
+    select_bits = bits_for_value(in_count)
+    return {
+        f"route{out_idx:03d}": (routes.get(out_idx, in_count), select_bits)
+        for out_idx in range(out_count)
+    }
+
+
+def _expected_pe_fields(adg, schedule, pe, sources):
+    from repro.scheduler.schedule import Edge
+
+    opcode_bits = bits_for_value(len(OPCODE_IDS))
+    in_count = max(1, len(adg.in_links(pe.name)))
+    select_bits = bits_for_value(in_count)
+    delay_bits = bits_for_value(max(1, pe.delay_fifo_depth))
+
+    fields = {}
+    slot = 0
+    for vertex, hw_name in sorted(
+        schedule.placement.items(), key=lambda item: str(item[0])
+    ):
+        if hw_name != pe.name:
+            continue
+        node = schedule.node_of(vertex)
+        if node.kind is not NodeKind.INSTR:
+            continue
+        prefix = f"slot{slot:02d}_"
+        fields[prefix + "opcode"] = (OPCODE_IDS[node.op] + 1, opcode_bits)
+        for operand_index, ref in enumerate(node.operands):
+            fields[prefix + f"src{operand_index}"] = (
+                sources.get((vertex.node_id, operand_index), 0),
+                select_bits,
+            )
+            if not pe.is_dynamic:
+                edge = Edge(vertex.region, ref.node_id, vertex.node_id,
+                            operand_index, ref.lane)
+                delay = schedule.input_delays.get(edge, 0)
+                fields[prefix + f"delay{operand_index}"] = (
+                    min(delay, pe.delay_fifo_depth), delay_bits
+                )
+        if pe.is_shared:
+            fields[prefix + "tag"] = (
+                slot, bits_for_value(max(1, pe.max_instructions - 1))
+            )
+        if node.reduction:
+            fields[prefix + "accum"] = (1, 1)
+            fields[prefix + "emit_every"] = (
+                min(node.emit_every, (1 << 16) - 1), 16
+            )
+        slot += 1
+    if slot == 0:
+        fields["slot00_opcode"] = (0, opcode_bits)
+    fields["num_slots"] = (
+        slot, bits_for_value(max(1, pe.max_instructions))
+    )
+    return fields
+
+
+def _expected_sync_fields(schedule, element):
+    hosted = int(
+        any(hw == element.name for hw in schedule.placement.values())
+    )
+    return {
+        "enable": (hosted, 1),
+        "depth": (element.depth, bits_for_value(max(1, element.depth))),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Control program
+# ---------------------------------------------------------------------------
+
+def check_control_program(scope, schedule, program=None):
+    """Diff a generated control program against the scope and schedule.
+
+    Checks the hardware/software contract of Section IV-C: one CONFIG
+    prologue, every declared stream issued exactly once on the right
+    port with the schedule's memory binding, and a WAIT_ALL epilogue.
+    """
+    from repro.compiler.codegen import CommandKind, generate_control_program
+
+    report = VerifyReport(checker="program")
+    if program is None:
+        program = generate_control_program(scope, schedule)
+
+    commands = list(program)
+    if not commands or commands[0].kind is not CommandKind.CONFIG:
+        report.add(
+            "program.prologue",
+            "control program does not start with a CONFIG command",
+        )
+    if not commands or commands[-1].kind is not CommandKind.WAIT_ALL:
+        report.add(
+            "program.epilogue",
+            "control program does not end with WAIT_ALL",
+        )
+
+    expected = {}
+    for region in scope.regions:
+        bindings = list(region.input_streams.items())
+        bindings += list(region.output_streams.items())
+        for port, binding in bindings:
+            for stream in as_stream_list(binding):
+                if isinstance(stream, ConstStream):
+                    kind = CommandKind.ISSUE_CONST
+                elif isinstance(stream, RecurrenceStream):
+                    kind = CommandKind.ISSUE_RECUR
+                else:
+                    kind = CommandKind.ISSUE_STREAM
+                key = (region.name, port, kind)
+                expected[key] = expected.get(key, 0) + 1
+
+    issued = {}
+    for command in program.stream_commands():
+        key = (command.region, command.port, command.kind)
+        issued[key] = issued.get(key, 0) + 1
+        if command.kind is CommandKind.ISSUE_STREAM:
+            bound = schedule.stream_binding.get(
+                (command.region, command.port), ""
+            )
+            if command.memory != bound:
+                report.add(
+                    "program.memory-binding",
+                    f"stream {command.region}:{command.port} issued to "
+                    f"memory {command.memory!r} but the schedule bound "
+                    f"{bound!r}",
+                    region=command.region,
+                    subject=f"{command.region}:{command.port}",
+                    issued=command.memory, bound=bound,
+                )
+
+    for key in sorted(set(expected) | set(issued), key=str):
+        want = expected.get(key, 0)
+        got = issued.get(key, 0)
+        if want != got:
+            region_name, port, kind = key
+            report.add(
+                "program.stream-count",
+                f"{kind.value} command for {region_name}:{port} issued "
+                f"{got} time(s), scope declares {want}",
+                region=region_name, subject=f"{region_name}:{port}",
+                issued=got, declared=want,
+            )
+    return report

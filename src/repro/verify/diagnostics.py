@@ -1,0 +1,173 @@
+"""Structured diagnostics for cross-layer verification.
+
+Every checker in :mod:`repro.verify` reports findings as
+:class:`Diagnostic` records collected in a :class:`VerifyReport` instead
+of asserting: callers (the DSE debug mode, the fuzzer, CI jobs) decide
+whether a finding is fatal, and repro files serialize the full report.
+
+Diagnostic codes are dotted paths whose first segment names the checked
+layer boundary:
+
+``placement.*``
+    software vertex -> hardware node mapping (capability, kind, overuse);
+``route.*``
+    software edge -> link path mapping (connectivity, oversubscription);
+``delay.*``
+    delay-FIFO assignments against hardware depths;
+``stream.*``
+    stream -> memory-port bindings;
+``state.*``
+    the schedule's live utilization counters against from-scratch
+    recomputation (drift here means incremental bookkeeping is broken);
+``config.*``
+    bitstream encode/decode round trips against the source schedule;
+``program.*``
+    generated control programs against the scope and schedule;
+``completeness.*``
+    unplaced vertices / unrouted edges.
+"""
+
+from dataclasses import dataclass, field
+
+#: Diagnostic severities, in increasing order of badness.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass
+class Diagnostic:
+    """One structured finding.
+
+    ``subject`` names the offending object (a vertex, edge, link, or
+    component) in its ``repr`` form; ``data`` carries machine-readable
+    detail (expected/actual values) for repro files and tests.
+    """
+
+    code: str
+    message: str
+    severity: str = "error"
+    region: str = ""
+    subject: str = ""
+    data: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def category(self):
+        """The first dotted segment of the code (``route``, ``state``...)."""
+        return self.code.split(".", 1)[0]
+
+    def to_dict(self):
+        """A JSON-safe dict; inverse of :meth:`from_dict`."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "severity": self.severity,
+            "region": self.region,
+            "subject": self.subject,
+            "data": {key: repr(value) for key, value in self.data.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, record):
+        return cls(
+            code=record["code"],
+            message=record["message"],
+            severity=record.get("severity", "error"),
+            region=record.get("region", ""),
+            subject=record.get("subject", ""),
+            data=dict(record.get("data", {})),
+        )
+
+    def __str__(self):
+        where = self.subject or self.region
+        where = f" [{where}]" if where else ""
+        return f"{self.severity}: {self.code}{where}: {self.message}"
+
+
+class VerifyReport:
+    """An ordered collection of diagnostics from one verification pass."""
+
+    def __init__(self, diagnostics=None, checker=""):
+        self.checker = checker
+        self.diagnostics = list(diagnostics or ())
+
+    # -- construction ---------------------------------------------------
+    def add(self, code, message, severity="error", region="", subject="",
+            **data):
+        """Record one finding; returns the :class:`Diagnostic`."""
+        diagnostic = Diagnostic(
+            code=code, message=message, severity=severity,
+            region=region, subject=str(subject), data=data,
+        )
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def merge(self, other):
+        """Fold another report's diagnostics into this one."""
+        self.diagnostics.extend(other.diagnostics)
+        return self
+
+    # -- queries --------------------------------------------------------
+    @property
+    def errors(self):
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self):
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def ok(self):
+        """True when no error-severity diagnostic was recorded."""
+        return not self.errors
+
+    def select(self, prefix):
+        """Diagnostics whose code starts with ``prefix``."""
+        return [d for d in self.diagnostics if d.code.startswith(prefix)]
+
+    def codes(self):
+        """Sorted distinct diagnostic codes present in the report."""
+        return sorted({d.code for d in self.diagnostics})
+
+    def counts(self):
+        """``{code: occurrences}`` over all diagnostics."""
+        table = {}
+        for diagnostic in self.diagnostics:
+            table[diagnostic.code] = table.get(diagnostic.code, 0) + 1
+        return table
+
+    # -- rendering ------------------------------------------------------
+    def describe(self, limit=10):
+        """A human-readable multi-line summary (for logs and errors)."""
+        if not self.diagnostics:
+            return f"{self.checker or 'verify'}: clean"
+        lines = [
+            f"{self.checker or 'verify'}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        ]
+        for diagnostic in self.diagnostics[:limit]:
+            lines.append(f"  {diagnostic}")
+        remaining = len(self.diagnostics) - limit
+        if remaining > 0:
+            lines.append(f"  ... and {remaining} more")
+        return "\n".join(lines)
+
+    def to_dict(self):
+        return {
+            "checker": self.checker,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def __len__(self):
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __repr__(self):
+        return (
+            f"VerifyReport({self.checker!r}, errors={len(self.errors)}, "
+            f"warnings={len(self.warnings)})"
+        )

@@ -2,7 +2,6 @@
 
 import copy
 
-import pytest
 
 from repro.adg import topologies
 from repro.baselines import (
@@ -13,7 +12,6 @@ from repro.baselines import (
 )
 from repro.compiler import compile_kernel
 from repro.compiler.codegen import CommandKind
-from repro.errors import CompilationError
 from repro.estimation import estimate_area_power
 from repro.sim import simulate
 from repro.utils.rng import DeterministicRng

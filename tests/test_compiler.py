@@ -26,7 +26,7 @@ from repro.compiler.transforms.vectorize import (
     reduction_tree,
 )
 from repro.errors import CompilationError
-from repro.ir import ConfigScope, Dfg, LinearStream, OffloadRegion
+from repro.ir import Dfg, LinearStream
 from repro.ir.stream import RecurrenceStream, StreamDirection
 from repro.utils.rng import DeterministicRng
 from repro.workloads import kernel as make_kernel
@@ -260,3 +260,50 @@ class TestTransforms:
         assert estimate_join_instances(10, 20) == 30
         with pytest.raises(CompilationError):
             estimate_join_instances(1, 1, mode="bogus")
+
+
+class TestCompileVerify:
+    """compile_kernel(verify=...) — the opt-in verification hook."""
+
+    def test_verify_report_attached(self):
+        adg = topologies.softbrain()
+        result = compile_kernel(
+            make_kernel("mm", 0.05), adg,
+            rng=DeterministicRng(0), max_iters=120, verify="report",
+        )
+        assert result.ok
+        assert result.verify_report is not None
+        assert result.verify_report.ok, result.verify_report.describe()
+
+    def test_verify_defaults_off(self):
+        adg = topologies.softbrain()
+        result = compile_kernel(
+            make_kernel("mm", 0.05), adg,
+            rng=DeterministicRng(0), max_iters=120,
+        )
+        assert result.verify_report is None
+
+    def test_verify_strict_raises_on_corruption(self, monkeypatch):
+        from repro.errors import VerificationError
+        import repro.verify.lint as lint_mod
+
+        real = lint_mod.lint_schedule
+
+        def sabotaged(schedule, adg=None, **kwargs):
+            key = next(iter(schedule._pe_load))
+            schedule._pe_load[key] += 1
+            return real(schedule, adg, **kwargs)
+
+        import repro.verify as verify_mod
+        monkeypatch.setattr(verify_mod, "lint_schedule", sabotaged)
+        adg = topologies.softbrain()
+        with pytest.raises(VerificationError):
+            compile_kernel(
+                make_kernel("mm", 0.05), adg,
+                rng=DeterministicRng(0), max_iters=120, verify="strict",
+            )
+
+    def test_verify_rejects_unknown_mode(self):
+        adg = topologies.softbrain()
+        with pytest.raises(ValueError):
+            compile_kernel(make_kernel("mm", 0.05), adg, verify="maybe")

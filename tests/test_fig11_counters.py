@@ -1,0 +1,64 @@
+"""Repair-vs-remap telemetry for the Figure 11 harness.
+
+The fig11 comparison is only meaningful if the two arms actually do what
+their labels claim: the repair arm must resume warm schedules, the remap
+arm must never touch one. These tests pin the
+``schedule_repairs``/``full_remaps`` counters to the mode and, with the
+DSE debug mode on, require every repaired and final schedule to pass
+the :mod:`repro.verify` linter.
+"""
+
+import pytest
+
+from repro.harness import fig11
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return fig11.run(
+        kernel_names=("mm",), scale=0.05, dse_iters=3, sched_iters=12,
+        seed=0, verify=True,
+    )
+
+
+def test_counters_match_mode(outcome):
+    _, summary = outcome
+    repair = summary["repair_counters"]
+    remap = summary["remap_counters"]
+    # The repair arm resumes at least one warm schedule; its only
+    # from-scratch mapping is the initial compile.
+    assert repair["schedule_repairs"] > 0
+    assert repair["full_remaps"] >= 1
+    # The remap arm must never repair.
+    assert remap.get("schedule_repairs", 0) == 0
+    assert remap["full_remaps"] > 0
+    # Every candidate compile is one or the other.
+    assert (
+        repair["schedule_repairs"] + repair["full_remaps"]
+        == remap["full_remaps"]
+    )
+
+
+def test_every_repaired_schedule_passes_linter(outcome):
+    _, summary = outcome
+    for mode in ("repair_counters", "remap_counters"):
+        counters = summary[mode]
+        assert counters["verify_lints"] > 0
+        assert counters.get("verify_errors", 0) == 0, (
+            f"{mode}: linter found errors in repaired/final schedules"
+        )
+    # The repair arm lints both the stripped warm schedules and the
+    # final mappings, so it sees strictly more lint runs.
+    assert (
+        summary["repair_counters"]["verify_lints"]
+        > summary["remap_counters"]["verify_lints"]
+    )
+
+
+def test_verify_off_by_default():
+    _, summary = fig11.run(
+        kernel_names=("mm",), scale=0.05, dse_iters=1, sched_iters=10,
+        seed=1,
+    )
+    assert "verify_lints" not in summary["repair_counters"]
+    assert summary["repair_counters"]["schedule_repairs"] >= 0

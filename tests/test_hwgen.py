@@ -39,7 +39,7 @@ class TestConfigPaths:
 
     def test_paths_follow_links(self):
         adg = topologies.softbrain()
-        link_set = {(l.src, l.dst) for l in adg.links()}
+        link_set = {(ln.src, ln.dst) for ln in adg.links()}
         core = adg.control_core().name
         for path in generate_config_paths(adg, 3):
             previous = core

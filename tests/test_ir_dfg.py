@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import IrError
-from repro.ir.dfg import Dfg, NodeKind, Operand
+from repro.ir.dfg import Dfg, Operand
 
 
 def simple_dfg():

@@ -121,7 +121,7 @@ class TestInterpreterTraces:
         trace = {}
         execute_scope(scope, memory, trace=trace)
         pops = trace["join"]["join_pops"]
-        total_left = sum(l for l, _ in pops)
+        total_left = sum(left for left, _ in pops)
         total_right = sum(r for _, r in pops)
         assert total_left == left_len
         assert total_right == right_len

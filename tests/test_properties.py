@@ -7,14 +7,13 @@ serialization must round-trip arbitrary generated designs, and stream
 address algebra must match its definition.
 """
 
-import math
 from functools import lru_cache
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.adg import adg_from_dict, adg_to_dict, topologies, validate_adg
-from repro.adg.components import Direction, ProcessingElement, Switch
+from repro.adg.components import Direction, ProcessingElement
 from repro.dse.mutation import AdgMutator, trim_unused_features
 from repro.errors import DseError
 from repro.ir import ConfigScope, Dfg, LinearStream, OffloadRegion

@@ -12,7 +12,6 @@ from repro.adg.components import (
     Switch,
     SyncElement,
 )
-from repro.compiler.kernel import VariantParams
 from repro.ir import ConfigScope, Dfg, LinearStream, OffloadRegion
 from repro.ir.stream import StreamDirection
 from repro.scheduler import (
@@ -75,7 +74,7 @@ class TestRoutingGraph:
         for _ in range(3):
             path = routing.route("in0", "out0")
             assert path is not None
-            interior = [adg.link(l).src for l in path[1:]]
+            interior = [adg.link(ln).src for ln in path[1:]]
             for name in interior:
                 node = adg.node(name)
                 assert node.KIND in ("switch", "delay")
@@ -101,7 +100,7 @@ class TestRoutingGraph:
         adg.connect("right", "exit")
         routing = RoutingGraph(adg)
         first = routing.route("entry", "exit", {}, value="v1")
-        occupancy = {l: {"v1"} for l in first}
+        occupancy = {ln: {"v1"} for ln in first}
         second = routing.route("entry", "exit", occupancy, value="v2")
         assert set(first) != set(second)
 
@@ -114,7 +113,7 @@ class TestRoutingGraph:
         adg.connect("mid", "exit")
         routing = RoutingGraph(adg)
         first = routing.route("entry", "exit", {}, value="v")
-        occupancy = {l: {"v"} for l in first}
+        occupancy = {ln: {"v"} for ln in first}
         again = routing.route("entry", "exit", occupancy, value="v")
         assert again == first  # same value rides the same wires
 

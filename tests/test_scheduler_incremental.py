@@ -13,7 +13,6 @@ when an endpoint went unplaced).
 
 import pickle
 
-import pytest
 
 from repro.adg import Adg, topologies
 from repro.adg.components import (
@@ -31,6 +30,7 @@ from repro.scheduler.schedule import Edge, Vertex
 from repro.scheduler.timing import compute_timing
 from repro.utils.rng import DeterministicRng
 from repro.utils.telemetry import Telemetry
+from repro.verify import lint_schedule
 
 from tests.test_scheduler import dot_scope
 
@@ -66,6 +66,12 @@ def assert_counters_match_oracles(sched):
         link: len(values)
         for link, values in sched._recompute_link_values().items()
     }
+    # The verify linter runs the same drift oracles; it must agree that
+    # the live state is clean even on structurally wild schedules (the
+    # randomized routes are not connected paths, so only state.* counts).
+    report = lint_schedule(sched, allow_partial=True)
+    drift = report.select("state.")
+    assert not drift, report.describe()
 
 
 class TestIncrementalCounters:

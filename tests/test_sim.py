@@ -7,7 +7,6 @@ import pytest
 
 from repro.adg import topologies
 from repro.compiler import compile_kernel
-from repro.compiler.kernel import VariantParams
 from repro.sim import CycleSimulator, simulate
 from repro.utils.rng import DeterministicRng
 from repro.workloads import kernel as make_kernel

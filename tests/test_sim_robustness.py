@@ -5,11 +5,10 @@ execution down, never corrupt results."""
 import copy
 import math
 
-import pytest
 
 from repro.adg import topologies
 from repro.compiler import compile_kernel
-from repro.sim import CycleSimulator, simulate
+from repro.sim import CycleSimulator
 from repro.utils.rng import DeterministicRng
 from repro.workloads import kernel as make_kernel
 

@@ -1,6 +1,5 @@
 """Focused tests for the scheduler's timing model."""
 
-import pytest
 
 from repro.adg import Adg, topologies
 from repro.adg.components import (

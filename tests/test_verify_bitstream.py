@@ -1,0 +1,135 @@
+"""Tests for the config round-trip checker (repro.verify.bitstream)."""
+
+import pytest
+
+from repro.adg import topologies
+from repro.compiler.codegen import CommandKind, generate_control_program
+from repro.hwgen.bitstream import encode_bitstream
+from repro.scheduler import SpatialScheduler
+from repro.verify import check_bitstream_roundtrip, check_control_program
+
+from tests.test_scheduler import dot_scope
+
+
+@pytest.fixture(scope="module")
+def mapped():
+    adg = topologies.softbrain()
+    scheduler = SpatialScheduler(adg, max_iters=200)
+    schedule, cost = scheduler.schedule(dot_scope(n=8, unroll=2))
+    assert cost.is_legal
+    return adg, schedule
+
+
+def test_clean_roundtrip(mapped):
+    adg, schedule = mapped
+    report = check_bitstream_roundtrip(adg, schedule)
+    assert report.ok, report.describe()
+
+
+def test_corrupted_field_detected(mapped):
+    adg, schedule = mapped
+    bitstream = encode_bitstream(adg, schedule)
+    victim = next(
+        config for config in bitstream.configs.values()
+        if config.fields.get("num_slots", (0, 0))[0] > 0
+    )
+    name = "slot00_opcode"
+    value, width = victim.fields[name]
+    victim.fields[name] = ((value + 1) % (1 << width), width)
+    victim.pack()
+    report = check_bitstream_roundtrip(adg, schedule, bitstream=bitstream)
+    assert not report.ok
+    assert "config.field-mismatch" in report.codes()
+
+
+def test_corrupted_payload_detected(mapped):
+    """Bit-flip the packed payload itself (not the field table)."""
+    adg, schedule = mapped
+    bitstream = encode_bitstream(adg, schedule)
+    victim = next(
+        config for config in bitstream.configs.values()
+        if config.payload_bits > 0 and config.fields.get(
+            "num_slots", (0, 0)
+        )[0] > 0
+    )
+    victim.payload ^= 1 << (victim.payload_bits - 1)
+    report = check_bitstream_roundtrip(adg, schedule, bitstream=bitstream)
+    assert not report.ok
+    assert "config.field-mismatch" in report.codes()
+
+
+def test_missing_and_unknown_nodes(mapped):
+    adg, schedule = mapped
+    bitstream = encode_bitstream(adg, schedule)
+    victim = sorted(bitstream.configs)[0]
+    config = bitstream.configs.pop(victim)
+    bitstream.configs["phantom_node"] = config
+    report = check_bitstream_roundtrip(adg, schedule, bitstream=bitstream)
+    codes = report.codes()
+    assert "config.missing-node" in codes
+    assert "config.unknown-node" in codes
+
+
+def test_stale_bitstream_detected_after_schedule_change(mapped):
+    """Re-placing an instruction invalidates the old encoding."""
+    adg, schedule = mapped
+    bitstream = encode_bitstream(adg, schedule)
+    changed = schedule.clone()
+    vertex = next(
+        v for v in changed.vertices()
+        if changed.node_of(v).kind.value == "instr"
+    )
+    current = changed.placement[vertex]
+    target = next(
+        pe.name for pe in adg.pes()
+        if pe.name != current
+        and changed.placement_legal(vertex, pe.name)
+    )
+    changed.place(vertex, target)
+    report = check_bitstream_roundtrip(adg, changed, bitstream=bitstream)
+    assert not report.ok
+
+
+def test_control_program_clean(mapped):
+    adg, schedule = mapped
+    scope = schedule.scope
+    report = check_control_program(scope, schedule)
+    assert report.ok, report.describe()
+
+
+def test_control_program_missing_stream(mapped):
+    adg, schedule = mapped
+    scope = schedule.scope
+    program = generate_control_program(scope, schedule)
+    victim = next(
+        index for index, command in enumerate(program.commands)
+        if command.kind is CommandKind.ISSUE_STREAM
+    )
+    del program.commands[victim]
+    report = check_control_program(scope, schedule, program)
+    assert "program.stream-count" in report.codes()
+
+
+def test_control_program_wrong_memory(mapped):
+    adg, schedule = mapped
+    scope = schedule.scope
+    program = generate_control_program(scope, schedule)
+    command = next(
+        c for c in program.commands
+        if c.kind is CommandKind.ISSUE_STREAM
+    )
+    command.memory = "wrong_memory"
+    report = check_control_program(scope, schedule, program)
+    assert "program.memory-binding" in report.codes()
+
+
+def test_control_program_missing_prologue_epilogue(mapped):
+    adg, schedule = mapped
+    scope = schedule.scope
+    program = generate_control_program(scope, schedule)
+    del program.commands[0]
+    del program.commands[-1]
+    report = check_control_program(scope, schedule, program)
+    codes = report.codes()
+    assert "program.prologue" in codes
+    assert "program.epilogue" in codes

@@ -12,7 +12,7 @@ import math
 import pytest
 
 from repro.compiler.kernel import VariantParams
-from repro.errors import CompilationError, IrError
+from repro.errors import CompilationError
 from repro.ir import execute_scope
 from repro.workloads import (
     WORKLOAD_DOMAINS,
