@@ -1,0 +1,61 @@
+"""Robustness benchmark: graceful degradation under single faults.
+
+Injects one random hardware fault per case across a registry subset and
+pins the headline robustness guarantee: at least 80% of single-fault
+cases recover or degrade (the schedule-repair path finds a working
+remapping), and **no** case ever miscompiles — a fault may honestly
+defeat the mapper, but it must never produce silently wrong output.
+
+Set ``REPRO_FAULT_CASES`` / ``REPRO_FAULT_WORKLOADS`` to widen the
+sweep toward the full registry.
+"""
+
+import json
+import os
+
+from conftest import SCHED_ITERS, run_once
+
+from repro.faults import run_campaign
+from repro.utils.telemetry import Telemetry
+
+CASES = int(os.environ.get("REPRO_FAULT_CASES", "15"))
+WORKLOADS = tuple(
+    os.environ.get(
+        "REPRO_FAULT_WORKLOADS", "mm,md,join,conv,histogram"
+    ).split(",")
+)
+SEED = 2026
+
+#: The pinned floor: single faults must be survivable this often.
+RECOVERY_FLOOR = 0.80
+
+
+def test_single_fault_degradation(benchmark):
+    telemetry_out = os.environ.get("REPRO_FAULT_TELEMETRY_OUT")
+    telemetry = Telemetry(jsonl_path=telemetry_out)
+
+    with telemetry:
+        summary = run_once(
+            benchmark, run_campaign,
+            workloads=WORKLOADS,
+            cases=CASES,
+            seed=SEED,
+            max_faults=1,
+            sched_iters=SCHED_ITERS,
+            telemetry=telemetry,
+        )
+
+    counts = summary.counts
+    survivable = counts.get("recovered", 0) + counts.get("degraded", 0)
+    print(json.dumps({
+        "cases": summary.cases,
+        "counts": dict(sorted(counts.items())),
+        "survival_rate": survivable / summary.cases,
+        "curve": summary.curve_rows(),
+    }, indent=2))
+
+    assert summary.cases == CASES
+    # A fault must never cause a silent miscompile.
+    assert counts.get("miscompiled", 0) == 0, counts
+    # ...and the repair path keeps >=80% of single-fault cases alive.
+    assert survivable / summary.cases >= RECOVERY_FLOOR, counts

@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro report fig13
     python -m repro verify mm --target softbrain
     python -m repro fuzz --cases 50 --seed 2026 --out fuzz-repros
+    python -m repro faults --cases 25 --seed 2026 --out fault-repros
 
 Every subcommand is a thin shell over the library; scripts wanting more
 control should import :mod:`repro` directly.
@@ -160,8 +161,14 @@ def cmd_dse(args):
             batch=args.batch,
             telemetry=telemetry,
             verify_schedules=args.verify,
+            eval_timeout=args.eval_timeout,
         )
-        result = explorer.run(max_iters=args.iters)
+        result = explorer.run(
+            max_iters=args.iters,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+        )
     for entry in result.history:
         if entry.accepted:
             print(f"iter {entry.iteration:3d}: area {entry.area_mm2:.3f} "
@@ -222,6 +229,56 @@ def cmd_fuzz(args):
     return 0 if summary.ok else 1
 
 
+def cmd_faults(args):
+    from repro.faults import replay_repro, run_campaign
+    from repro.utils.telemetry import Telemetry
+
+    if args.replay:
+        outcome = replay_repro(args.replay,
+                               sched_iters=args.sched_iters)
+        print(f"replayed {args.replay}: {outcome.describe()}")
+        return 0 if outcome.status != "miscompiled" else 1
+
+    names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+    try:
+        telemetry = Telemetry(jsonl_path=args.telemetry_out)
+    except OSError as exc:
+        raise SystemExit(f"cannot open --telemetry-out: {exc}")
+
+    def progress(index, case, outcome):
+        print(f"[{index + 1}/{args.cases}] {case.name} "
+              f"{case.workload}: {outcome.describe()}")
+
+    with telemetry:
+        summary = run_campaign(
+            workloads=names,
+            cases=args.cases,
+            seed=args.seed,
+            preset=args.preset,
+            scale=args.scale,
+            max_faults=args.max_faults,
+            sched_iters=args.sched_iters,
+            workers=args.workers,
+            telemetry=telemetry,
+            out_dir=args.out,
+            shrink=args.shrink,
+            progress=progress,
+        )
+    from repro.harness.report import print_table
+
+    print_table(summary.curve_rows(), title="degradation curve")
+    print(json.dumps(
+        {"seed": summary.seed, "cases": summary.cases,
+         "counts": dict(sorted(summary.counts.items()))},
+        indent=2,
+    ))
+    for path in summary.repro_paths:
+        print(f"wrote {path}")
+    if args.telemetry_out:
+        print(f"wrote {args.telemetry_out}")
+    return 0 if summary.ok else 1
+
+
 def cmd_hwgen(args):
     from repro.hwgen import emit_verilog, generate_config_paths
     from repro.hwgen.config_path import longest_path_length
@@ -260,6 +317,7 @@ def cmd_report(args):
         "fig12": harness.fig12.run,
         "fig13": harness.fig13.run,
         "fig14": harness.fig14.run,
+        "fig11ft": harness.fig11.run_fault_tolerance,
         "model": harness.model_validation.run,
     }
     if args.figure not in drivers:
@@ -344,6 +402,15 @@ def build_parser():
     dse_parser.add_argument("--verify", action="store_true",
                             help="debug mode: lint every repaired and "
                                  "final schedule (repro.verify)")
+    dse_parser.add_argument("--eval-timeout", type=float, default=None,
+                            help="per-candidate evaluation timeout in "
+                                 "seconds (pooled runs; default off)")
+    dse_parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                            help="write a resumable JSON checkpoint here")
+    dse_parser.add_argument("--checkpoint-every", type=int, default=1,
+                            help="generations between checkpoint writes")
+    dse_parser.add_argument("--resume", action="store_true",
+                            help="continue from --checkpoint if it exists")
 
     verify_parser = sub.add_parser(
         "verify", help="compile a workload and run every verifier"
@@ -374,6 +441,37 @@ def build_parser():
     fuzz_parser.add_argument("--replay", default=None, metavar="FILE",
                              help="re-run one serialized repro file "
                                   "instead of fuzzing")
+
+    faults_parser = sub.add_parser(
+        "faults", help="fault-injection campaign: inject hardware "
+                       "faults, repair, verify, and re-simulate"
+    )
+    faults_parser.add_argument("--cases", type=int, default=25)
+    faults_parser.add_argument("--seed", type=int, default=2026)
+    faults_parser.add_argument("--workloads", default="mm,md,join",
+                               help="comma-separated workload names")
+    faults_parser.add_argument("--preset", default="softbrain",
+                               choices=sorted(topologies.PRESETS))
+    faults_parser.add_argument("--scale", type=float, default=0.05)
+    faults_parser.add_argument("--max-faults", type=int, default=3,
+                               help="max simultaneous faults per case")
+    faults_parser.add_argument("--sched-iters", type=int, default=120)
+    faults_parser.add_argument("--workers", type=int, default=1,
+                               help="case-evaluation processes")
+    faults_parser.add_argument("--shrink", default=True,
+                               action=argparse.BooleanOptionalAction,
+                               help="minimize miscompiled cases before "
+                                    "writing repros")
+    faults_parser.add_argument("--out", default=None,
+                               help="directory for miscompile repro "
+                                    "files")
+    faults_parser.add_argument("--telemetry-out",
+                               default="faults-telemetry.jsonl",
+                               help="degradation-curve JSONL log "
+                                    "(default: faults-telemetry.jsonl)")
+    faults_parser.add_argument("--replay", default=None, metavar="FILE",
+                               help="re-run one serialized fault repro "
+                                    "instead of a campaign")
 
     hwgen_parser = sub.add_parser(
         "hwgen", help="generate hardware artifacts for a design"
@@ -407,6 +505,7 @@ _COMMANDS = {
     "dse": cmd_dse,
     "verify": cmd_verify,
     "fuzz": cmd_fuzz,
+    "faults": cmd_faults,
     "hwgen": cmd_hwgen,
     "report": cmd_report,
 }

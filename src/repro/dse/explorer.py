@@ -28,11 +28,17 @@ Every stage (mutate / estimate / compile) is wrapped in
 generation can be appended to a JSONL run log.
 """
 
+import base64
+import json
 import math
 import multiprocessing
+import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
 
 from repro.compiler.pipeline import compile_kernel
 from repro.dse.mutation import AdgMutator, trim_unused_features
@@ -150,6 +156,9 @@ class CandidateOutcome:
 #: Module global read by pool workers; set by :meth:`run` immediately
 #: before the (fork-started) pool is created so children inherit it.
 _EVAL_CONTEXT = None
+
+#: Checkpoint-file schema version (see ``DesignSpaceExplorer.run``).
+CHECKPOINT_VERSION = 1
 
 
 def _compile_kernels(context, adg, rng, warm_schedules=None, budget=None):
@@ -309,6 +318,7 @@ class DesignSpaceExplorer:
         batch=None,
         telemetry=None,
         verify_schedules=False,
+        eval_timeout=None,
     ):
         self.kernels = list(kernels)
         self.initial_adg = initial_adg
@@ -329,6 +339,11 @@ class DesignSpaceExplorer:
         self.workers = max(1, int(workers))
         self.batch = batch
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        # Per-candidate wall-clock budget (seconds) for pool evaluation;
+        # None disables the watchdog. See _evaluate_batch.
+        self.eval_timeout = eval_timeout
+        self._pool = None
+        self._pool_workers = 1
 
     # ------------------------------------------------------------------
     def _context(self):
@@ -360,31 +375,80 @@ class DesignSpaceExplorer:
             self.telemetry.incr("pool_unavailable")
             return None
 
-    def _evaluate_batch(self, tasks, pool, context):
+    def _retry_serially(self, task, context):
+        """One in-process retry of a failed/timed-out candidate; a second
+        failure becomes a rejected candidate, never a crashed run."""
+        self.telemetry.incr("dse_worker_retries")
+        try:
+            return _evaluate_candidate(task, context)
+        except Exception:
+            return CandidateOutcome(
+                index=task.index, iteration=task.iteration, ok=False,
+                reason="worker-failed",
+                counters={"candidates_evaluated": 1,
+                          "candidates_failed": 1},
+            )
+
+    def _evaluate_batch(self, tasks, context):
         """Evaluate tasks, returning outcomes in candidate-index order.
 
-        Pool failures degrade to the serial path per candidate; the
-        generation always completes.
+        Pool failures degrade per candidate instead of crashing the run:
+        a future that exceeds ``eval_timeout`` or dies with the pool is
+        retried once serially in-process; if that also fails the
+        candidate is recorded as rejected. After any timeout or pool
+        breakage the pool is rebuilt (abandoned workers may still be
+        grinding on the stuck candidate).
         """
+        pool = self._pool
         if pool is None:
             return [_evaluate_candidate(task, context) for task in tasks]
-        futures = [
-            (task, pool.submit(_evaluate_candidate, task))
-            for task in tasks
-        ]
+        try:
+            futures = [
+                (task, pool.submit(_evaluate_candidate, task))
+                for task in tasks
+            ]
+        except Exception:
+            # submit() itself failing means the pool is already broken.
+            self.telemetry.incr("worker_errors")
+            self._rebuild_pool()
+            return [self._retry_serially(task, context) for task in tasks]
         outcomes = []
+        rebuild = False
         for task, future in futures:
             try:
-                outcomes.append(future.result())
-            except Exception:
-                # Broken pool / unpicklable payload: re-run in process.
+                outcomes.append(future.result(timeout=self.eval_timeout))
+            except _FutureTimeout:
+                self.telemetry.incr("dse_worker_timeouts")
+                future.cancel()
+                rebuild = True
+                outcomes.append(self._retry_serially(task, context))
+            except BrokenProcessPool:
                 self.telemetry.incr("worker_errors")
-                outcomes.append(_evaluate_candidate(task, context))
+                rebuild = True
+                outcomes.append(self._retry_serially(task, context))
+            except Exception:
+                # Unpicklable payload / worker exception: the pool itself
+                # is fine, so retry in process without a rebuild.
+                self.telemetry.incr("worker_errors")
+                outcomes.append(self._retry_serially(task, context))
+        if rebuild:
+            self._rebuild_pool()
         return outcomes
+
+    def _rebuild_pool(self):
+        """Tear down a suspect pool and start a fresh one."""
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self.telemetry.incr("dse_pool_rebuilds")
+        self._pool = self._make_pool(self._pool_workers)
 
     # ------------------------------------------------------------------
     def run(self, max_iters=50, patience=None, mutations_per_step=None,
-            workers=None, batch=None):
+            workers=None, batch=None, eval_timeout=None,
+            checkpoint_path=None, checkpoint_every=1, resume=False):
         """Explore for up to ``max_iters`` generations.
 
         ``patience`` stops after that many generations without
@@ -392,68 +456,118 @@ class DesignSpaceExplorer:
         and ``batch`` (candidates per generation, default ``workers``)
         override the constructor settings. With a fixed seed the
         trajectory is identical for any ``workers`` at equal ``batch``.
-        Returns a :class:`DseResult`.
+
+        ``checkpoint_path`` writes a JSON checkpoint (atomic rename)
+        every ``checkpoint_every`` generations plus one final write;
+        ``resume=True`` continues from that file if it exists (the rng
+        never consumes state between generations, so a resumed
+        trajectory is bit-identical to an uninterrupted one at equal
+        seed). ``eval_timeout`` bounds each pooled candidate evaluation
+        in seconds. Returns a :class:`DseResult`.
         """
         workers = self.workers if workers is None else max(1, int(workers))
         batch = batch if batch is not None else self.batch
         batch = max(1, int(batch)) if batch is not None else max(1, workers)
         patience = patience if patience is not None else max_iters
+        checkpoint_every = max(1, int(checkpoint_every))
+        if eval_timeout is not None:
+            self.eval_timeout = eval_timeout
         telemetry = self.telemetry
         run_start = time.perf_counter()
 
-        best_adg = self.initial_adg.clone()
+        saved = None
+        if resume and checkpoint_path and os.path.exists(checkpoint_path):
+            saved = self._load_checkpoint(checkpoint_path)
+
         context = self._context()
-        with telemetry.timer("initial_compile"):
-            (results, cycles, schedules, compile_counters,
-             sched_seconds) = _compile_kernels(
-                context, best_adg, self.rng,
-                budget=self.initial_sched_iters,
+        if saved is not None:
+            best_adg, schedules, cycles, results = saved["state"]
+            self.objective.set_baseline(saved["baseline_cycles"])
+            best_score = saved["best_objective"]
+            result = DseResult(
+                best_adg=best_adg,
+                best_objective=best_score,
+                initial_area=saved["initial_area"],
+                initial_power=saved["initial_power"],
+                kernel_results=results,
             )
-        telemetry.merge_counters(compile_counters)
-        telemetry.merge_timings(sched_seconds)
-        if results is None:
-            raise DseError("initial hardware cannot host the kernel set")
-        self.objective.set_baseline(cycles)
-        area, power = self.area_power.estimate(best_adg)
-        best_score = self.objective.score(cycles, area, power)
-        result = DseResult(
-            best_adg=best_adg,
-            best_objective=best_score,
-            initial_area=area,
-            initial_power=power,
-            kernel_results=results,
-        )
-        result.history.append(DseHistoryEntry(
-            iteration=0, area_mm2=area, power_mw=power,
-            performance=1.0, objective=best_score, accepted=True,
-            mutations=["initial"],
-        ))
-        telemetry.event({
-            "type": "initial", "area_mm2": area, "power_mw": power,
-            "objective": best_score, "workers": workers, "batch": batch,
-        })
+            result.history = [
+                DseHistoryEntry(**entry) for entry in saved["history"]
+            ]
+            stale = saved["stale"]
+            start_iteration = max(2, saved["iteration"] + 1)
+            telemetry.incr("dse_resumes")
+            telemetry.event({
+                "type": "resume", "iteration": saved["iteration"],
+                "objective": best_score, "workers": workers,
+                "batch": batch,
+            })
+        else:
+            best_adg = self.initial_adg.clone()
+            with telemetry.timer("initial_compile"):
+                (results, cycles, schedules, compile_counters,
+                 sched_seconds) = _compile_kernels(
+                    context, best_adg, self.rng,
+                    budget=self.initial_sched_iters,
+                )
+            telemetry.merge_counters(compile_counters)
+            telemetry.merge_timings(sched_seconds)
+            if results is None:
+                raise DseError("initial hardware cannot host the kernel set")
+            self.objective.set_baseline(cycles)
+            area, power = self.area_power.estimate(best_adg)
+            best_score = self.objective.score(cycles, area, power)
+            result = DseResult(
+                best_adg=best_adg,
+                best_objective=best_score,
+                initial_area=area,
+                initial_power=power,
+                kernel_results=results,
+            )
+            result.history.append(DseHistoryEntry(
+                iteration=0, area_mm2=area, power_mw=power,
+                performance=1.0, objective=best_score, accepted=True,
+                mutations=["initial"],
+            ))
+            stale = 0
+            start_iteration = 2
+            telemetry.event({
+                "type": "initial", "area_mm2": area, "power_mw": power,
+                "objective": best_score, "workers": workers,
+                "batch": batch,
+            })
 
         global _EVAL_CONTEXT
         _EVAL_CONTEXT = context
-        pool = self._make_pool(workers)
+        self._pool_workers = workers
+        self._pool = self._make_pool(workers)
+        last_iteration = start_iteration - 1
         try:
-            # Iteration 1: the paper's cleanup step — drop features no
-            # schedule uses (Figure 14's early area drop).
-            trimmed = best_adg.clone()
-            if trim_unused_features(
-                trimmed, [s for m in schedules.values() for s in m.values()]
-            ):
-                accepted = self._run_generation(
-                    [(trimmed, ["trim"])], schedules, 1, result,
-                    best_score, pool, context,
-                )
-                if accepted is not None:
-                    best_adg, best_score, cycles, schedules = accepted
-                    result.best_adg = best_adg
-                    result.best_objective = best_score
+            if saved is None:
+                # Iteration 1: the paper's cleanup step — drop features
+                # no schedule uses (Figure 14's early area drop).
+                trimmed = best_adg.clone()
+                if trim_unused_features(
+                    trimmed,
+                    [s for m in schedules.values() for s in m.values()],
+                ):
+                    accepted = self._run_generation(
+                        [(trimmed, ["trim"])], schedules, 1, result,
+                        best_score, context,
+                    )
+                    if accepted is not None:
+                        best_adg, best_score, cycles, schedules = accepted
+                        result.best_adg = best_adg
+                        result.best_objective = best_score
+                last_iteration = 1
+                if checkpoint_path:
+                    self._write_checkpoint(
+                        checkpoint_path, 1, stale, result, best_score,
+                        (best_adg, schedules, cycles,
+                         result.kernel_results),
+                    )
 
-            stale = 0
-            for iteration in range(2, max_iters + 2):
+            for iteration in range(start_iteration, max_iters + 2):
                 if stale >= patience:
                     break
                 candidates = []
@@ -472,22 +586,38 @@ class DesignSpaceExplorer:
                         candidates.append((mutated, descriptions))
                 if not candidates:
                     stale += 1
-                    continue
-                accepted = self._run_generation(
-                    candidates, schedules, iteration, result,
-                    best_score, pool, context,
-                )
-                if accepted is None:
-                    stale += 1
-                    continue
-                best_adg, best_score, cycles, schedules = accepted
-                result.best_adg = best_adg
-                result.best_objective = best_score
-                stale = 0
+                else:
+                    accepted = self._run_generation(
+                        candidates, schedules, iteration, result,
+                        best_score, context,
+                    )
+                    if accepted is None:
+                        stale += 1
+                    else:
+                        best_adg, best_score, cycles, schedules = accepted
+                        result.best_adg = best_adg
+                        result.best_objective = best_score
+                        stale = 0
+                last_iteration = iteration
+                if checkpoint_path and iteration % checkpoint_every == 0:
+                    self._write_checkpoint(
+                        checkpoint_path, iteration, stale, result,
+                        best_score,
+                        (best_adg, schedules, cycles,
+                         result.kernel_results),
+                    )
         finally:
-            if pool is not None:
-                pool.shutdown(wait=True)
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
             _EVAL_CONTEXT = None
+
+        if checkpoint_path:
+            self._write_checkpoint(
+                checkpoint_path, last_iteration, stale, result,
+                best_score,
+                (best_adg, schedules, cycles, result.kernel_results),
+            )
 
         wall = time.perf_counter() - run_start
         evaluated = telemetry.counters.get("candidates_evaluated", 0)
@@ -503,8 +633,66 @@ class DesignSpaceExplorer:
         return result
 
     # ------------------------------------------------------------------
+    def _write_checkpoint(self, path, iteration, stale, result,
+                          best_score, state):
+        """Atomically persist the run state as JSON + a pickle blob.
+
+        History / objective / baseline stay human-readable; the ADG and
+        warm schedules ride in a base64 pickle blob because the JSON ADG
+        round-trip renumbers link ids, which would orphan every warm
+        route.
+        """
+        record = {
+            "version": CHECKPOINT_VERSION,
+            "seed": repr(self.rng.seed),
+            "iteration": iteration,
+            "stale": stale,
+            "best_objective": best_score,
+            "initial_area": result.initial_area,
+            "initial_power": result.initial_power,
+            "baseline_cycles": dict(self.objective.baseline_cycles),
+            "history": [asdict(entry) for entry in result.history],
+            "state_blob": base64.b64encode(
+                pickle.dumps(state)
+            ).decode("ascii"),
+        }
+        tmp = f"{path}.tmp"
+        with open(tmp, "w") as handle:
+            json.dump(record, handle)
+        os.replace(tmp, path)
+        self.telemetry.incr("dse_checkpoints_written")
+
+    def _load_checkpoint(self, path):
+        with open(path) as handle:
+            record = json.load(handle)
+        version = record.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise DseError(
+                f"checkpoint {path!r} has version {version!r}; "
+                f"expected {CHECKPOINT_VERSION}"
+            )
+        if record.get("seed") != repr(self.rng.seed):
+            raise DseError(
+                f"checkpoint {path!r} was written with seed "
+                f"{record.get('seed')}; this run uses {self.rng.seed!r} "
+                "— resuming would break trajectory determinism"
+            )
+        return {
+            "state": pickle.loads(
+                base64.b64decode(record["state_blob"])
+            ),
+            "iteration": record["iteration"],
+            "stale": record["stale"],
+            "best_objective": record["best_objective"],
+            "initial_area": record["initial_area"],
+            "initial_power": record["initial_power"],
+            "baseline_cycles": record["baseline_cycles"],
+            "history": record["history"],
+        }
+
+    # ------------------------------------------------------------------
     def _run_generation(self, candidates, warm_schedules, iteration,
-                        result, best_score, pool, context):
+                        result, best_score, context):
         """Evaluate one generation of (adg, descriptions) candidates.
 
         Appends one history entry per candidate (in index order), picks
@@ -522,7 +710,7 @@ class DesignSpaceExplorer:
             for idx, (adg, _descriptions) in enumerate(candidates)
         ]
         with telemetry.timer("evaluate"):
-            outcomes = self._evaluate_batch(tasks, pool, context)
+            outcomes = self._evaluate_batch(tasks, context)
         winner = None
         winner_score = best_score
         scores = []

@@ -67,6 +67,10 @@ class SimulationError(DsagenError):
     """Cycle-level simulation reached an illegal state."""
 
 
+class FaultError(DsagenError):
+    """A hardware fault specification could not be drawn or applied."""
+
+
 class VerificationError(DsagenError):
     """Cross-layer verification found a real inconsistency.
 

@@ -1,0 +1,269 @@
+"""Fault-injection campaigns over the workload registry.
+
+A campaign sweeps fault count and kind over a set of workloads: case
+``i`` of campaign ``seed`` is a pure function of ``(seed, i)`` (workload
+pick, fault draw, repair randomness), so any case replays standalone
+from its serialized spec. Per-workload baselines (healthy compile +
+simulated cycles) are prepared once and shared across cases; the cases
+themselves run either serially or across a fork-context worker pool that
+inherits the baselines from the parent, mirroring the DSE pool.
+
+Outputs: a :class:`CampaignSummary` with outcome counts and per-workload
+degradation curves (performance retained vs. faults injected, repair
+vs. remap effort), every point also emitted through
+:mod:`repro.utils.telemetry` as ``degradation-curve`` events so a
+``--telemetry-out`` JSONL log captures the whole sweep.
+"""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import CompilationError
+from repro.faults.degrade import (
+    generate_case,
+    prepare_baseline,
+    report_miscompile,
+    run_case,
+)
+from repro.utils.telemetry import Telemetry
+
+#: Workloads small enough to compile + simulate in a few seconds each at
+#: the default campaign scale; the CLI accepts any registry subset.
+DEFAULT_WORKLOADS = ("mm", "md", "join")
+
+#: Module global read by pool workers; set immediately before the
+#: (fork-started) pool is created so children inherit the baselines.
+_CAMPAIGN_CONTEXT = None
+
+
+@dataclass
+class _CampaignContext:
+    baselines: dict                  # workload -> WorkloadBaseline
+    sched_iters: int
+
+
+def _run_case_worker(case):
+    """Pool entry point: run one case against inherited baselines."""
+    ctx = _CAMPAIGN_CONTEXT
+    telemetry = Telemetry()
+    outcome = run_case(
+        case, baseline=ctx.baselines.get(case.workload),
+        sched_iters=ctx.sched_iters, telemetry=telemetry,
+    )
+    return outcome, dict(telemetry.counters)
+
+
+@dataclass
+class CampaignSummary:
+    """Outcome of one fault campaign."""
+
+    seed: int
+    cases: int = 0
+    counts: dict = field(default_factory=dict)     # status -> n
+    results: list = field(default_factory=list)    # (case, outcome)
+    repro_paths: list = field(default_factory=list)
+    curves: dict = field(default_factory=dict)     # workload -> points
+
+    @property
+    def ok(self):
+        """A campaign is clean when nothing miscompiled."""
+        return self.counts.get("miscompiled", 0) == 0
+
+    def curve_rows(self):
+        """Degradation-curve table: one row per (workload, fault count)."""
+        rows = []
+        for workload in sorted(self.curves):
+            for point in self.curves[workload]:
+                rows.append({
+                    "workload": workload,
+                    "faults": point["faults"],
+                    "cases": point["cases"],
+                    "recovered": point["recovered"],
+                    "degraded": point["degraded"],
+                    "unmappable": point["unmappable"],
+                    "miscompiled": point["miscompiled"],
+                    "perf_retained": round(point["perf_retained"], 3),
+                })
+        return rows
+
+    def to_dict(self):
+        return {
+            "seed": self.seed,
+            "cases": self.cases,
+            "counts": dict(sorted(self.counts.items())),
+            "curves": {
+                name: [dict(point) for point in points]
+                for name, points in sorted(self.curves.items())
+            },
+            "repro_paths": list(self.repro_paths),
+        }
+
+
+def _build_curves(results):
+    """Aggregate (case, outcome) pairs into per-workload curve points.
+
+    ``perf_retained`` at a fault count is the mean of
+    ``baseline/cycles`` over that bucket's cases, counting unmappable
+    and miscompiled cases as zero performance retained.
+    """
+    buckets = {}
+    for case, outcome in results:
+        key = (case.workload, len(case.faults))
+        buckets.setdefault(key, []).append(outcome)
+    curves = {}
+    for (workload, faults), outcomes in sorted(buckets.items()):
+        retained = []
+        point = {"faults": faults, "cases": len(outcomes),
+                 "recovered": 0, "degraded": 0, "unmappable": 0,
+                 "miscompiled": 0}
+        for outcome in outcomes:
+            point[outcome.status] = point.get(outcome.status, 0) + 1
+            if outcome.status in ("recovered", "degraded") \
+                    and outcome.slowdown > 0:
+                retained.append(1.0 / outcome.slowdown)
+            else:
+                retained.append(0.0)
+        point["perf_retained"] = sum(retained) / len(retained)
+        curves.setdefault(workload, []).append(point)
+    return curves
+
+
+def _make_pool(workers):
+    if workers <= 1:
+        return None
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    try:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("fork"),
+        )
+    except OSError:
+        return None
+
+
+def run_campaign(
+    workloads=DEFAULT_WORKLOADS,
+    cases=25,
+    seed=2026,
+    preset="softbrain",
+    scale=0.05,
+    max_faults=3,
+    kinds=None,
+    sched_iters=120,
+    workers=1,
+    telemetry=None,
+    out_dir=None,
+    shrink=True,
+    progress=None,
+):
+    """Run a fault campaign; returns a :class:`CampaignSummary`.
+
+    Miscompiled cases are shrunk (when ``shrink``) and written as repro
+    files under ``out_dir``. ``progress`` is an optional
+    ``callback(index, case, outcome)`` invoked per completed case.
+    """
+    global _CAMPAIGN_CONTEXT
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    summary = CampaignSummary(seed=seed)
+
+    baselines = {}
+    usable = []
+    with telemetry.timer("faults/baselines"):
+        for workload in workloads:
+            try:
+                baselines[workload] = prepare_baseline(
+                    workload, preset=preset, scale=scale,
+                    sched_iters=sched_iters, seed=seed,
+                )
+                usable.append(workload)
+            except CompilationError:
+                # A workload the healthy preset cannot host is a
+                # campaign-configuration problem, not a fault outcome.
+                telemetry.incr("fault_baseline_failures")
+    if not usable:
+        raise CompilationError(
+            "no campaign workload compiles on the healthy ADG"
+        )
+    base_adg = baselines[usable[0]].adg
+
+    specs = [
+        generate_case(
+            seed, index, workloads=usable, preset=preset, scale=scale,
+            max_faults=max_faults, kinds=kinds, adg=base_adg,
+        )
+        for index in range(cases)
+    ]
+
+    context = _CampaignContext(baselines=baselines,
+                               sched_iters=sched_iters)
+    _CAMPAIGN_CONTEXT = context
+    pool = _make_pool(workers)
+
+    outcomes = [None] * len(specs)
+    try:
+        if pool is not None:
+            futures = {pool.submit(_run_case_worker, case): idx
+                       for idx, case in enumerate(specs)}
+            for future, idx in futures.items():
+                try:
+                    outcome, counters = future.result()
+                except Exception:
+                    telemetry.incr("fault_worker_errors")
+                    outcome, counters = _run_case_worker(specs[idx])
+                outcomes[idx] = outcome
+                telemetry.merge_counters(counters)
+        else:
+            for idx, case in enumerate(specs):
+                outcome, counters = _run_case_worker(case)
+                outcomes[idx] = outcome
+                telemetry.merge_counters(counters)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+        _CAMPAIGN_CONTEXT = None
+
+    for idx, (case, outcome) in enumerate(zip(specs, outcomes)):
+        summary.cases += 1
+        summary.counts[outcome.status] = \
+            summary.counts.get(outcome.status, 0) + 1
+        summary.results.append((case, outcome))
+        telemetry.incr("fault_cases")
+        telemetry.incr(f"fault_outcome_{outcome.status}")
+        telemetry.incr("faults_injected", len(case.faults))
+        telemetry.event({
+            "kind": "fault-case",
+            "case": case.name,
+            "workload": case.workload,
+            "faults": [f for f in outcome.faults],
+            "outcome": outcome.to_dict(),
+        })
+        if outcome.status == "miscompiled" and out_dir:
+            path = report_miscompile(
+                case, outcome, out_dir,
+                baseline=baselines.get(case.workload),
+                sched_iters=sched_iters, shrink=shrink,
+            )
+            summary.repro_paths.append(path)
+        if progress is not None:
+            progress(idx, case, outcome)
+
+    summary.curves = _build_curves(summary.results)
+    for workload, points in sorted(summary.curves.items()):
+        for point in points:
+            telemetry.event({
+                "kind": "degradation-curve",
+                "workload": workload,
+                **point,
+            })
+    telemetry.event({"kind": "fault-campaign-summary",
+                     **summary.to_dict()})
+    return summary
+
+
+__all__ = [
+    "DEFAULT_WORKLOADS",
+    "CampaignSummary",
+    "run_campaign",
+]

@@ -1,0 +1,335 @@
+"""Deterministic hardware fault models over the ADG.
+
+A deployed spatial accelerator degrades by losing pieces of the very
+graph DSAGEN synthesizes: a dead PE or link is just an *involuntary* ADG
+mutation (Section V edits the same graph voluntarily). Each
+:class:`FaultSpec` is therefore a structured, JSON-serializable edit:
+
+* ``dead_pe`` — a processing element stops responding; the node and
+  every wire touching it disappear;
+* ``dead_link`` — one directed wire breaks (identified structurally as
+  the n-th parallel link from ``src`` to ``dst``, so replay does not
+  depend on volatile link ids);
+* ``stuck_switch`` — a switch's output mux sticks: it can still sink
+  traffic but forwards nothing (all outgoing links removed);
+* ``degraded_fifo`` — a delay FIFO loses entries (radiation-hit SRAM
+  rows disabled), shrinking the operand skew the scheduler may absorb;
+* ``disabled_fu`` — one functional-unit group inside a PE is fused off,
+  removing those opcodes from its capability set;
+* ``reduced_memory`` — a memory loses banks and stream slots (bad bank
+  fused out, arbitration table entries disabled).
+
+Specs apply to an :class:`~repro.adg.graph.Adg` *in order*, and drawing
+happens against a scratch clone that accumulates the earlier faults of
+the same set — so serializing the list and replaying it onto a fresh
+copy of the same base ADG reproduces the faulted hardware exactly. That
+inverse is what makes fault campaigns pure functions of
+``(seed, index)``, exactly like :class:`repro.verify.fuzz.FuzzCase`.
+"""
+
+from dataclasses import asdict, dataclass, field
+
+from repro.adg.components import (
+    DelayFifo,
+    Memory,
+    ProcessingElement,
+    Switch,
+)
+from repro.errors import FaultError
+from repro.utils.rng import DeterministicRng
+
+#: Fault kinds, in the order the campaign sweeps them.
+FAULT_KINDS = (
+    "dead_pe",
+    "dead_link",
+    "stuck_switch",
+    "degraded_fifo",
+    "disabled_fu",
+    "reduced_memory",
+)
+
+#: FU groups a fault can fuse off (mirrors the DSE mutation groups).
+_FU_GROUPS = (
+    ("mul", "mac"),
+    ("fmul", "fmac"),
+    ("fadd", "fsub", "fmin", "fmax", "fcmp_lt", "fcmp_gt"),
+    ("fdiv", "fsqrt"),
+    ("sigmoid", "tanh", "exp"),
+    ("sjoin",),
+    ("and", "or", "xor", "shl", "shr"),
+)
+
+
+@dataclass
+class FaultSpec:
+    """One injectable hardware fault (JSON-serializable).
+
+    ``target`` names the affected node; ``link`` identifies a wire as
+    ``{"src": ..., "dst": ..., "ordinal": n}`` (n-th parallel link in
+    link-id order); ``params`` carries kind-specific values (the new
+    depth/banks/slots, the opcode list fused off).
+    """
+
+    kind: str
+    target: str = ""
+    link: dict = None
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(f"unknown fault kind {self.kind!r}")
+
+    def to_dict(self):
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, record):
+        return cls(
+            kind=record["kind"],
+            target=record.get("target", ""),
+            link=dict(record["link"]) if record.get("link") else None,
+            params=dict(record.get("params", {})),
+        )
+
+    def describe(self):
+        if self.kind == "dead_link":
+            return (f"dead_link {self.link['src']}->{self.link['dst']}"
+                    f"#{self.link['ordinal']}")
+        detail = ""
+        if self.kind == "degraded_fifo":
+            detail = f" depth={self.params['depth']}"
+        elif self.kind == "disabled_fu":
+            detail = f" ops={','.join(self.params['ops'])}"
+        elif self.kind == "reduced_memory":
+            detail = (f" banks={self.params['banks']} "
+                      f"slots={self.params['slots']}")
+        return f"{self.kind} {self.target}{detail}"
+
+    # ------------------------------------------------------------------
+    def apply(self, adg):
+        """Mutate ``adg`` in place; raises :class:`FaultError` when the
+        target no longer exists (fault sets apply in draw order)."""
+        _APPLIERS[self.kind](self, adg)
+        return adg
+
+
+def apply_faults(adg, faults):
+    """Apply a fault list in order; returns ``adg`` for chaining."""
+    for fault in faults:
+        fault.apply(adg)
+    return adg
+
+
+# ---------------------------------------------------------------------------
+# Appliers (one per kind)
+# ---------------------------------------------------------------------------
+
+def _node(adg, name, cls, kind):
+    if not adg.has_node(name):
+        raise FaultError(f"{kind}: node {name!r} not in ADG")
+    node = adg.node(name)
+    if not isinstance(node, cls):
+        raise FaultError(
+            f"{kind}: node {name!r} is a {type(node).__name__}, "
+            f"expected {cls.__name__}"
+        )
+    return node
+
+
+def _apply_dead_pe(fault, adg):
+    _node(adg, fault.target, ProcessingElement, fault.kind)
+    adg.remove(fault.target)
+
+
+def _apply_dead_link(fault, adg):
+    spec = fault.link or {}
+    links = adg.links_between(spec.get("src", ""), spec.get("dst", "")) \
+        if adg.has_node(spec.get("src", "")) \
+        and adg.has_node(spec.get("dst", "")) else []
+    ordinal = spec.get("ordinal", 0)
+    if ordinal >= len(links):
+        raise FaultError(
+            f"dead_link: no link {spec.get('src')!r}->{spec.get('dst')!r}"
+            f"#{ordinal}"
+        )
+    adg.remove_link(links[ordinal].link_id)
+
+
+def _apply_stuck_switch(fault, adg):
+    switch = _node(adg, fault.target, Switch, fault.kind)
+    for link in adg.out_links(switch.name):
+        adg.remove_link(link.link_id)
+
+
+def _apply_degraded_fifo(fault, adg):
+    if not adg.has_node(fault.target):
+        raise FaultError(f"degraded_fifo: node {fault.target!r} not in ADG")
+    node = adg.node(fault.target)
+    depth = int(fault.params["depth"])
+    if isinstance(node, ProcessingElement):
+        node.delay_fifo_depth = max(0, depth)
+    elif isinstance(node, DelayFifo):
+        node.depth = max(1, depth)
+    else:
+        raise FaultError(
+            f"degraded_fifo: {fault.target!r} has no delay FIFO"
+        )
+
+
+def _apply_disabled_fu(fault, adg):
+    pe = _node(adg, fault.target, ProcessingElement, fault.kind)
+    pe.op_names = set(pe.op_names) - set(fault.params["ops"])
+
+
+def _apply_reduced_memory(fault, adg):
+    memory = _node(adg, fault.target, Memory, fault.kind)
+    memory.banks = max(1, int(fault.params["banks"]))
+    memory.num_stream_slots = max(1, int(fault.params["slots"]))
+    if memory.banks == 1:
+        # Atomic-update units live in the banks; a single surviving bank
+        # cannot sustain conflict-free read-modify-write.
+        memory.atomic_update = False
+
+
+_APPLIERS = {
+    "dead_pe": _apply_dead_pe,
+    "dead_link": _apply_dead_link,
+    "stuck_switch": _apply_stuck_switch,
+    "degraded_fifo": _apply_degraded_fifo,
+    "disabled_fu": _apply_disabled_fu,
+    "reduced_memory": _apply_reduced_memory,
+}
+
+
+# ---------------------------------------------------------------------------
+# Drawers (deterministic fault sampling)
+# ---------------------------------------------------------------------------
+
+def _draw_dead_pe(adg, rng):
+    pes = sorted(pe.name for pe in adg.pes())
+    if len(pes) < 2:
+        return None  # a fully dead fabric is not an interesting campaign
+    return FaultSpec(kind="dead_pe", target=rng.choice(pes))
+
+
+def _fabric_links(adg):
+    return [
+        link for link in sorted(adg.links(), key=lambda l1: l1.link_id)
+        if adg.node(link.src).KIND in ("switch", "pe")
+        and adg.node(link.dst).KIND in ("switch", "pe")
+    ]
+
+
+def _draw_dead_link(adg, rng):
+    links = _fabric_links(adg)
+    if not links:
+        return None
+    link = rng.choice(links)
+    siblings = adg.links_between(link.src, link.dst)
+    ordinal = [s.link_id for s in siblings].index(link.link_id)
+    return FaultSpec(
+        kind="dead_link",
+        link={"src": link.src, "dst": link.dst, "ordinal": ordinal},
+    )
+
+
+def _draw_stuck_switch(adg, rng):
+    switches = sorted(
+        sw.name for sw in adg.switches() if adg.out_links(sw.name)
+    )
+    if len(switches) < 2:
+        return None
+    return FaultSpec(kind="stuck_switch", target=rng.choice(switches))
+
+
+def _draw_degraded_fifo(adg, rng):
+    candidates = sorted(
+        pe.name for pe in adg.pes() if pe.delay_fifo_depth > 1
+    )
+    candidates += sorted(
+        fifo.name for fifo in adg.delay_fifos() if fifo.depth > 1
+    )
+    if not candidates:
+        return None
+    target = rng.choice(candidates)
+    node = adg.node(target)
+    depth = (node.delay_fifo_depth
+             if isinstance(node, ProcessingElement) else node.depth)
+    return FaultSpec(
+        kind="degraded_fifo", target=target,
+        params={"depth": depth // 2},
+    )
+
+
+def _draw_disabled_fu(adg, rng):
+    candidates = []
+    for pe in sorted(adg.pes(), key=lambda p: p.name):
+        for group in _FU_GROUPS:
+            lost = sorted(set(group) & pe.op_names)
+            if lost and pe.op_names - set(group):
+                candidates.append((pe.name, lost))
+    if not candidates:
+        return None
+    name, lost = rng.choice(candidates)
+    return FaultSpec(kind="disabled_fu", target=name,
+                     params={"ops": lost})
+
+
+def _draw_reduced_memory(adg, rng):
+    candidates = sorted(
+        m.name for m in adg.memories()
+        if m.banks > 1 or m.num_stream_slots > 1
+    )
+    if not candidates:
+        return None
+    memory = adg.node(rng.choice(candidates))
+    return FaultSpec(
+        kind="reduced_memory", target=memory.name,
+        params={
+            "banks": max(1, memory.banks // 2),
+            "slots": max(1, memory.num_stream_slots // 2),
+        },
+    )
+
+
+_DRAWERS = {
+    "dead_pe": _draw_dead_pe,
+    "dead_link": _draw_dead_link,
+    "stuck_switch": _draw_stuck_switch,
+    "degraded_fifo": _draw_degraded_fifo,
+    "disabled_fu": _draw_disabled_fu,
+    "reduced_memory": _draw_reduced_memory,
+}
+
+
+def draw_faults(adg, rng, count, kinds=None):
+    """Draw ``count`` faults against ``adg``, deterministically in
+    ``rng``.
+
+    Draws happen against a scratch clone that accumulates earlier
+    faults, so every spec targets hardware that still exists at its
+    position in the list — the list replays cleanly onto any fresh copy
+    of ``adg``. Returns fewer than ``count`` specs when the graph runs
+    out of legal targets.
+    """
+    if rng is None:
+        rng = DeterministicRng("faults")
+    kinds = tuple(kinds) if kinds else FAULT_KINDS
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise FaultError(f"unknown fault kind {kind!r}")
+    scratch = adg.clone()
+    faults = []
+    attempts = 0
+    while len(faults) < count and attempts < count * 8:
+        attempts += 1
+        kind = rng.choice(list(kinds))
+        try:
+            fault = _DRAWERS[kind](scratch, rng)
+        except FaultError:
+            continue
+        if fault is None:
+            continue
+        fault.apply(scratch)
+        faults.append(fault)
+    return faults

@@ -93,3 +93,93 @@ def run(kernel_names=DEFAULT_KERNELS, scale=0.05, dse_iters=12,
         "remap_counters": mode_counters["remap"],
     }
     return rows, summary
+
+
+def run_fault_tolerance(kernel_names=DEFAULT_KERNELS, scale=0.05,
+                        fault_counts=(1, 2, 4), cases_per_point=4,
+                        seed=0, sched_iters=60, telemetry_out=None):
+    """The fault-tolerance arm of Figure 11: repair versus remap when
+    the ADG edit is *involuntary*.
+
+    For each fault count, injects that many random hardware faults into
+    the healthy design and recovers each workload twice — once through
+    the repair path (strip + resume, with the full-recompile rescue
+    disabled) and once by remapping from scratch — then compares
+    recovery rate and scheduler effort. The same mechanism that speeds
+    up DSE (Section V-A) is what lets a deployed instance degrade
+    gracefully. Returns ``(rows, summary)``.
+    """
+    from repro.faults.degrade import degrade, prepare_baseline
+    from repro.faults.models import draw_faults
+    from repro.utils.telemetry import Telemetry
+
+    telemetry = Telemetry(jsonl_path=telemetry_out)
+    baselines = {
+        name: prepare_baseline(
+            name, scale=scale, sched_iters=sched_iters, seed=seed,
+        )
+        for name in kernel_names
+    }
+
+    rows = []
+    totals = {"repair": {"ok": 0, "iters": 0, "runs": 0},
+              "remap": {"ok": 0, "iters": 0, "runs": 0}}
+    with telemetry:
+        for count in fault_counts:
+            point = {"faults": count}
+            for mode in ("repair", "remap"):
+                recovered = 0
+                effort = 0
+                runs = 0
+                for name, baseline in baselines.items():
+                    for case in range(cases_per_point):
+                        rng = DeterministicRng(
+                            ("fig11ft", seed, count, name, case)
+                        )
+                        faults = draw_faults(
+                            baseline.adg, rng.fork("draw"), count
+                        )
+                        meter = Telemetry()
+                        if mode == "repair":
+                            outcome = degrade(
+                                baseline, faults, rng=rng.fork("fix"),
+                                sched_iters=sched_iters,
+                                remap_rescue=False, telemetry=meter,
+                            )
+                            effort += outcome.repair_iterations
+                        else:
+                            outcome = degrade(
+                                baseline, faults, rng=rng.fork("fix"),
+                                sched_iters=sched_iters,
+                                remap_rescue=True, telemetry=meter,
+                                mode="remap",
+                            )
+                            effort += meter.counters.get(
+                                "fault_remap_iterations", 0
+                            )
+                        runs += 1
+                        if outcome.status in ("recovered", "degraded"):
+                            recovered += 1
+                point[f"{mode}_recovery"] = round(recovered / runs, 3)
+                point[f"{mode}_effort"] = effort
+                totals[mode]["ok"] += recovered
+                totals[mode]["iters"] += effort
+                totals[mode]["runs"] += runs
+            telemetry.event({"kind": "fig11ft-point", **point})
+            rows.append(point)
+
+    summary = {
+        "repair_recovery": (
+            totals["repair"]["ok"] / totals["repair"]["runs"]
+        ),
+        "remap_recovery": (
+            totals["remap"]["ok"] / totals["remap"]["runs"]
+        ),
+        "repair_effort": totals["repair"]["iters"],
+        "remap_effort": totals["remap"]["iters"],
+        "effort_saving": (
+            1.0 - totals["repair"]["iters"] / totals["remap"]["iters"]
+            if totals["remap"]["iters"] else 0.0
+        ),
+    }
+    return rows, summary

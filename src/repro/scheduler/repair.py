@@ -12,6 +12,7 @@ strips and resumes the stochastic search from the surviving partial
 schedule — the paper's key DSE speedup (Figure 11).
 """
 
+from repro.adg.components import Memory, ProcessingElement
 from repro.scheduler.stochastic import SpatialScheduler
 
 
@@ -42,13 +43,30 @@ def strip_invalid(schedule, adg):
             removed += 1
 
     for key in list(schedule.stream_binding):
-        if not adg.has_node(schedule.stream_binding[key]):
+        hw_name = schedule.stream_binding[key]
+        if not adg.has_node(hw_name) \
+                or not isinstance(adg.node(hw_name), Memory):
             del schedule.stream_binding[key]
+            removed += 1
+
+    # Delay assignments sized for FIFOs that shrank (or whose consumer
+    # placement is gone) would silently violate the hardware bound.
+    for edge in list(schedule.input_delays):
+        hw_name = schedule.placement.get(edge.dst)
+        if hw_name is None or not adg.has_node(hw_name):
+            del schedule.input_delays[edge]
+            removed += 1
+            continue
+        hw = adg.node(hw_name)
+        if isinstance(hw, ProcessingElement) \
+                and schedule.input_delays[edge] > hw.delay_fifo_depth:
+            del schedule.input_delays[edge]
             removed += 1
     return removed
 
 
-def repair_schedule(schedule, adg, rng=None, max_iters=200, patience=25):
+def repair_schedule(schedule, adg, rng=None, max_iters=200, patience=25,
+                    telemetry=None):
     """Strip stale state, then resume the stochastic search on ``adg``.
 
     Returns ``(schedule, cost)`` like
@@ -56,6 +74,7 @@ def repair_schedule(schedule, adg, rng=None, max_iters=200, patience=25):
     """
     strip_invalid(schedule, adg)
     scheduler = SpatialScheduler(
-        adg, rng=rng, max_iters=max_iters, patience=patience
+        adg, rng=rng, max_iters=max_iters, patience=patience,
+        telemetry=telemetry,
     )
     return scheduler.schedule(schedule.scope, initial=schedule)
