@@ -263,6 +263,7 @@ def cmd_faults(args):
             out_dir=args.out,
             shrink=args.shrink,
             progress=progress,
+            sim_engine=args.sim_engine,
         )
     from repro.harness.report import print_table
 
@@ -360,7 +361,7 @@ def build_parser():
     run_parser.add_argument("--sim-engine", default=None,
                             choices=list(SIM_ENGINES),
                             help="simulator replay loop (default: "
-                                 "event; both are bit-identical)")
+                                 "event; all are bit-identical)")
 
     compile_parser = sub.add_parser(
         "compile", help="compile an annotated C file"
@@ -458,6 +459,11 @@ def build_parser():
     faults_parser.add_argument("--sched-iters", type=int, default=120)
     faults_parser.add_argument("--workers", type=int, default=1,
                                help="case-evaluation processes")
+    faults_parser.add_argument("--sim-engine", default=None,
+                               choices=list(SIM_ENGINES),
+                               help="simulator replay loop; 'batched' "
+                                    "simulates all cases of a workload "
+                                    "as one columnar batch")
     faults_parser.add_argument("--shrink", default=True,
                                action=argparse.BooleanOptionalAction,
                                help="minimize miscompiled cases before "

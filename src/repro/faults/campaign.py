@@ -25,7 +25,9 @@ from repro.faults.degrade import (
     prepare_baseline,
     report_miscompile,
     run_case,
+    run_cases_batched,
 )
+from repro.sim import SIM_ENGINES
 from repro.utils.telemetry import Telemetry
 
 #: Workloads small enough to compile + simulate in a few seconds each at
@@ -41,6 +43,7 @@ _CAMPAIGN_CONTEXT = None
 class _CampaignContext:
     baselines: dict                  # workload -> WorkloadBaseline
     sched_iters: int
+    sim_engine: str = None
 
 
 def _run_case_worker(case):
@@ -50,8 +53,21 @@ def _run_case_worker(case):
     outcome = run_case(
         case, baseline=ctx.baselines.get(case.workload),
         sched_iters=ctx.sched_iters, telemetry=telemetry,
+        sim_engine=ctx.sim_engine,
     )
     return outcome, dict(telemetry.counters)
+
+
+def _run_group_worker(cases):
+    """Pool entry point for the batched engine: run all cases of one
+    workload as lanes of a single columnar simulation batch."""
+    ctx = _CAMPAIGN_CONTEXT
+    telemetry = Telemetry()
+    outcomes = run_cases_batched(
+        cases, baseline=ctx.baselines.get(cases[0].workload),
+        sched_iters=ctx.sched_iters, telemetry=telemetry,
+    )
+    return outcomes, dict(telemetry.counters)
 
 
 @dataclass
@@ -157,14 +173,23 @@ def run_campaign(
     out_dir=None,
     shrink=True,
     progress=None,
+    sim_engine=None,
 ):
     """Run a fault campaign; returns a :class:`CampaignSummary`.
 
     Miscompiled cases are shrunk (when ``shrink``) and written as repro
     files under ``out_dir``. ``progress`` is an optional
     ``callback(index, case, outcome)`` invoked per completed case.
+    ``sim_engine="batched"`` simulates all cases of a workload as lanes
+    of one columnar batch (one pool task per workload group, so the fork
+    pool still parallelizes across workloads); other engines run one
+    case per pool task.
     """
     global _CAMPAIGN_CONTEXT
+    if sim_engine is not None and sim_engine not in SIM_ENGINES:
+        raise ValueError(
+            f"unknown sim engine {sim_engine!r}; one of {SIM_ENGINES}"
+        )
     telemetry = telemetry if telemetry is not None else Telemetry()
     summary = CampaignSummary(seed=seed)
 
@@ -197,13 +222,45 @@ def run_campaign(
     ]
 
     context = _CampaignContext(baselines=baselines,
-                               sched_iters=sched_iters)
+                               sched_iters=sched_iters,
+                               sim_engine=sim_engine)
     _CAMPAIGN_CONTEXT = context
     pool = _make_pool(workers)
 
     outcomes = [None] * len(specs)
     try:
-        if pool is not None:
+        if sim_engine == "batched":
+            # One batch per workload: lanes share the workload's base
+            # ADG topology, which is what the columnar engine exploits.
+            # The fork pool still fans out across workload groups.
+            groups = {}
+            for idx, case in enumerate(specs):
+                groups.setdefault(case.workload, []).append(idx)
+            group_items = [
+                ([specs[idx] for idx in indices], indices)
+                for indices in groups.values()
+            ]
+            if pool is not None:
+                futures = {pool.submit(_run_group_worker, group): indices
+                           for group, indices in group_items}
+                for future, indices in futures.items():
+                    try:
+                        group_outcomes, counters = future.result()
+                    except Exception:
+                        telemetry.incr("fault_worker_errors")
+                        group_outcomes, counters = _run_group_worker(
+                            [specs[idx] for idx in indices]
+                        )
+                    for idx, outcome in zip(indices, group_outcomes):
+                        outcomes[idx] = outcome
+                    telemetry.merge_counters(counters)
+            else:
+                for group, indices in group_items:
+                    group_outcomes, counters = _run_group_worker(group)
+                    for idx, outcome in zip(indices, group_outcomes):
+                        outcomes[idx] = outcome
+                    telemetry.merge_counters(counters)
+        elif pool is not None:
             futures = {pool.submit(_run_case_worker, case): idx
                        for idx, case in enumerate(specs)}
             for future, idx in futures.items():

@@ -29,26 +29,31 @@ class RoutingGraph:
 
     def __init__(self, adg):
         self.adg = adg
-        self._adjacency = {}  # node name -> [(link_id, dst, latency)]
-        self._links = {}
-        for name in adg.node_names():
-            self._adjacency[name] = []
-        for link in adg.links():
-            dst_node = adg.node(link.dst)
-            latency = 1
-            if isinstance(dst_node, Switch):
-                latency = dst_node.latency
-            self._adjacency[link.src].append((link.link_id, link.dst, latency))
-            self._links[link.link_id] = link
-        # Hop distances drive placement's proximity bias on every
-        # candidate-sampling call: build the full table eagerly (one BFS
-        # per node, once per ADG) so the hot path never takes a miss.
-        self._hop_cache = {
-            name: self._bfs_hops(name) for name in adg.node_names()
-        }
+        self._links = {link.link_id: link for link in adg.links()}
+        # The adjacency lists and per-source BFS hop tables only serve
+        # routing queries (``route``/``hops``/``reachable``); both are
+        # filled on first use so timing-only consumers — the simulator
+        # builds a RoutingGraph per replay just for ``path_latency`` —
+        # pay the link dict and nothing else.
+        self._adjacency = None  # node name -> [(link_id, dst, latency)]
+        self._hop_cache = {}
 
     def link(self, link_id):
         return self._links[link_id]
+
+    def _neighbors(self):
+        if self._adjacency is None:
+            adg = self.adg
+            adjacency = {name: [] for name in adg.node_names()}
+            for link in self._links.values():
+                dst_node = adg.node(link.dst)
+                latency = 1
+                if isinstance(dst_node, Switch):
+                    latency = dst_node.latency
+                adjacency[link.src].append(
+                    (link.link_id, link.dst, latency))
+            self._adjacency = adjacency
+        return self._adjacency
 
     def _passable(self, name):
         """May a route pass *through* this node?"""
@@ -71,6 +76,7 @@ class RoutingGraph:
         """
         if src == dst:
             return []
+        adjacency = self._neighbors()
         link_values = link_values or {}
         forbidden = forbidden or ()
         best = {src: 0.0}
@@ -86,7 +92,7 @@ class RoutingGraph:
                 break
             if name != src and not self._passable(name):
                 continue  # terminal nodes cannot forward traffic
-            for link_id, neighbor, latency in self._adjacency[name]:
+            for link_id, neighbor, latency in adjacency[name]:
                 if neighbor in forbidden:
                     continue
                 occupants = link_values.get(link_id)
@@ -133,6 +139,7 @@ class RoutingGraph:
     def _bfs_hops(self, src):
         """BFS hop table from ``src`` (interior hops through switches
         and delay FIFOs only)."""
+        adjacency = self._neighbors()
         table = {src: 0}
         frontier = [src]
         while frontier:
@@ -140,7 +147,7 @@ class RoutingGraph:
             for name in frontier:
                 if name != src and not self._passable(name):
                     continue
-                for link_id, neighbor, _latency in self._adjacency[name]:
+                for link_id, neighbor, _latency in adjacency[name]:
                     if neighbor not in table:
                         table[neighbor] = table[name] + 1
                         next_frontier.append(neighbor)

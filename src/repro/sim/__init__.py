@@ -11,11 +11,16 @@ scheduled fabric firing instances at its initiation interval and pipeline
 latency. This mirrors how decoupled architectures behave: dataflow values
 are timing-independent while throughput is resource-bound.
 
-Two replay engines produce bit-identical results: ``"event"`` (the
+Three replay engines produce bit-identical results: ``"event"`` (the
 default) skips quiet cycles and batch-fires steady-state windows;
-``"stepped"`` advances one cycle at a time and serves as the oracle.
+``"stepped"`` advances one cycle at a time and serves as the oracle;
+``"batched"`` (:mod:`repro.sim.batched`) steps many simulation
+instances in lock-step on structure-of-arrays state — the campaign-
+scale throughput engine, with :func:`simulate_batch` as its many-case
+entry point.
 """
 
+from repro.sim.batched import BatchCase, simulate_batch
 from repro.sim.machine import (
     SIM_ENGINES,
     CycleSimulator,
@@ -26,8 +31,10 @@ from repro.sim.machine import (
 
 __all__ = [
     "SIM_ENGINES",
+    "BatchCase",
     "CycleSimulator",
     "SimResult",
     "default_engine",
     "simulate",
+    "simulate_batch",
 ]

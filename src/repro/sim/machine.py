@@ -70,8 +70,9 @@ RECURRENCE_LATENCY = 2
 #: traffic has deadlocked.
 _DEADLOCK_FACTOR = 64
 
-#: Replay engines: ``event`` skips cycles, ``stepped`` is the oracle.
-SIM_ENGINES = ("event", "stepped")
+#: Replay engines: ``event`` skips cycles, ``stepped`` is the oracle,
+#: ``batched`` steps many instances in lock-step (see ``sim.batched``).
+SIM_ENGINES = ("event", "stepped", "batched")
 
 #: Snapshot-history size before the steady-state detector resets.
 _HISTORY_LIMIT = 4096
@@ -81,9 +82,17 @@ def default_engine():
     """The replay engine used when callers pass ``engine=None``.
 
     ``REPRO_SIM_ENGINE`` overrides the built-in default (``event``) so
-    whole harness runs can be flipped without touching call sites.
+    whole harness runs can be flipped without touching call sites. An
+    unknown value fails here, at entry, rather than silently replaying
+    on a fallback engine.
     """
-    return os.environ.get("REPRO_SIM_ENGINE", "event")
+    engine = os.environ.get("REPRO_SIM_ENGINE", "event")
+    if engine not in SIM_ENGINES:
+        raise ValueError(
+            f"unknown sim engine {engine!r} from REPRO_SIM_ENGINE; "
+            f"one of {SIM_ENGINES}"
+        )
+    return engine
 
 
 def _resolve_engine(engine):
@@ -382,6 +391,12 @@ class _Replay:
 
     # -- main loop ------------------------------------------------------
     def replay(self, engine, memory):
+        if engine not in ("event", "stepped"):
+            # Anything else would silently replay as ``stepped``;
+            # ``batched`` must route through ``sim.batched`` instead.
+            raise ValueError(
+                f"_Replay handles only scalar engines, not {engine!r}"
+            )
         event = engine == "event"
         schedule_len = len(self.command_schedule)
         while True:
@@ -990,12 +1005,18 @@ class CycleSimulator:
 
         ``memory`` is mutated to the program's final state. ``engine``
         picks the replay loop (``"event"`` skips cycles, ``"stepped"``
-        is the single-cycle oracle; both produce identical results).
+        is the single-cycle oracle, ``"batched"`` runs a one-lane
+        columnar batch; all produce identical results).
         ``telemetry`` optionally collects ``sim_*`` counters and
         ``sim/*`` phase timers. Returns a :class:`SimResult` whose
         ``cycles`` is the modeled wall-clock.
         """
         engine = _resolve_engine(engine)
+        if engine == "batched":
+            # One-lane batch through the columnar engine (import here:
+            # sim.batched imports this module).
+            from repro.sim.batched import run_single_batched
+            return run_single_batched(self, memory, telemetry)
         telemetry = telemetry or Telemetry(enabled=False)
         trace = {}
         with telemetry.timer("sim/functional"):

@@ -16,7 +16,8 @@ to implement the same semantics:
 1. an independent pure-Python evaluation of the spec (the reference);
 2. the IR interpreter (:func:`repro.ir.interp.execute_scope`);
 3. the ``stepped`` cycle-level engine;
-4. the ``event`` cycle-skipping engine (must be bit-identical to 3);
+4. the ``event`` cycle-skipping engine and the ``batched`` columnar
+   engine (both must be bit-identical to 3);
 5. the schedule linter and the bitstream round-trip checker.
 
 Cases the scheduler cannot map on the mutated fabric are *skipped*, not
@@ -287,7 +288,7 @@ def run_case(case, sched_iters=150):
         )
 
     engine_results = {}
-    for engine in ("stepped", "event"):
+    for engine in ("stepped", "event", "batched"):
         memory = build_memory(case)
         try:
             engine_results[engine] = simulate(
@@ -304,16 +305,17 @@ def run_case(case, sched_iters=150):
             )
 
     stepped = engine_results["stepped"]
-    event = engine_results["event"]
-    for attribute in ("cycles", "instances", "region_cycles"):
-        left = getattr(stepped, attribute)
-        right = getattr(event, attribute)
-        if left != right:
-            result.record(
-                "engine-divergence",
-                f"stepped and event engines disagree on {attribute}",
-                attribute=attribute, stepped=left, event=right,
-            )
+    for engine in ("event", "batched"):
+        other = engine_results[engine]
+        for attribute in ("cycles", "instances", "region_cycles"):
+            left = getattr(stepped, attribute)
+            right = getattr(other, attribute)
+            if left != right:
+                result.record(
+                    "engine-divergence",
+                    f"stepped and {engine} engines disagree on {attribute}",
+                    attribute=attribute, stepped=left, **{engine: right},
+                )
     return result
 
 

@@ -1,0 +1,59 @@
+"""Shared engine-parity helpers.
+
+Every replay engine must produce a bit-identical :class:`SimResult` to
+the ``stepped`` oracle; this module holds the one assertion both the
+engine-equivalence tests and the batched-engine tests (and the batched
+throughput benchmark) pin against. Kept out of the ``test_*`` namespace
+so pytest does not collect it as a test file.
+"""
+
+import copy
+
+from repro.sim import SIM_ENGINES, simulate
+from repro.utils.telemetry import Telemetry
+
+#: The single-cycle engine every other engine is pinned against.
+ORACLE = "stepped"
+
+
+def sim_fields(result):
+    """The :class:`SimResult` fields that must match across engines."""
+    return (result.cycles, result.region_cycles, result.memory_busy,
+            result.instances, result.config_cycles)
+
+
+def run_all_engines(adg, compiled, workload, engines=SIM_ENGINES):
+    """Simulate ``compiled`` once per engine on fresh memory.
+
+    Returns ``({engine: SimResult}, {engine: Telemetry})``.
+    """
+    results = {}
+    telemetries = {}
+    for engine in engines:
+        memory = workload.make_memory()
+        scope_copy = copy.deepcopy(compiled)
+        scope_copy.scope.bind_constants(memory)
+        telemetries[engine] = Telemetry()
+        results[engine] = simulate(
+            adg, scope_copy, memory,
+            engine=engine, telemetry=telemetries[engine],
+        )
+    return results, telemetries
+
+
+def assert_engine_parity(results, oracle=ORACLE):
+    """Assert every engine's outcome is bit-identical to the oracle's.
+
+    Values are :class:`SimResult` instances or stall-report strings
+    (for cases that legitimately deadlock, parity means the same error
+    text at the same cycle).
+    """
+    def normalize(value):
+        return value if isinstance(value, str) else sim_fields(value)
+
+    expected = normalize(results[oracle])
+    for engine, outcome in results.items():
+        assert normalize(outcome) == expected, (
+            f"engine {engine!r} diverges from the {oracle!r} oracle: "
+            f"{normalize(outcome)!r} != {expected!r}"
+        )

@@ -1,0 +1,211 @@
+"""Batched columnar engine: oracle-pinned parity.
+
+:func:`repro.sim.simulate_batch` steps B simulation instances in
+lock-step on structure-of-arrays state; every lane's SimResult must be
+bit-identical to a per-case ``stepped`` run — including fault-repaired
+lanes, mixed batches where some lanes deadlock (evicted to the scalar
+path, not poisoning the batch), and the 100-seeded-fault-case
+acceptance sweep.
+"""
+
+import copy
+from functools import lru_cache
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.sim.machine as machine
+from repro.adg import topologies
+from repro.compiler import compile_kernel
+from repro.errors import SimulationError
+from repro.faults import (
+    WorkloadBaseline,
+    generate_case,
+    run_campaign,
+    run_case,
+    run_cases_batched,
+)
+from repro.faults.degrade import _prepare_degrade
+from repro.harness.compile_cache import cached_compile
+from repro.sim import BatchCase, simulate, simulate_batch
+from repro.utils.rng import DeterministicRng
+from repro.utils.telemetry import Telemetry
+from repro.workloads import kernel as make_kernel
+from tests.engine_parity import sim_fields
+
+
+def _compiled(name, scale=0.05, iters=60):
+    adg = topologies.PRESETS["softbrain"]()
+    result = cached_compile(
+        adg, ("test-sim-engines", name, scale, iters),
+        lambda: compile_kernel(
+            make_kernel(name, scale), adg,
+            rng=DeterministicRng(("engines", name)),
+            max_iters=iters, attempts=3,
+        ),
+    )
+    return adg, result
+
+
+@lru_cache(maxsize=None)
+def _baseline(name):
+    """A WorkloadBaseline built on the shared compile cache (cheaper
+    than prepare_baseline's fresh compile under hypothesis)."""
+    adg, compiled = _compiled(name)
+    assert compiled.ok, f"{name} failed to compile"
+    compiled = copy.deepcopy(compiled)
+    kern = make_kernel(name, 0.05)
+    memory = kern.make_memory()
+    bound = copy.deepcopy(compiled)
+    bound.scope.bind_constants(memory)
+    sim = simulate(adg, bound, memory, engine="stepped")
+    return WorkloadBaseline(
+        workload=name, kernel=kern, adg=adg, compiled=compiled,
+        baseline_cycles=sim.cycles,
+    )
+
+
+def _lane_case(compiled, workload, deadline_factor=None):
+    memory = workload.make_memory()
+    bound = copy.deepcopy(compiled)
+    bound.scope.bind_constants(memory)
+    return BatchCase(memory=memory, compiled=bound,
+                     deadline_factor=deadline_factor)
+
+
+class TestBatchParity:
+    """simulate_batch vs. the per-case stepped oracle."""
+
+    @pytest.mark.parametrize("name", ["mm", "ellpack", "pool"])
+    def test_homogeneous_batch_matches_stepped(self, name):
+        adg, compiled = _compiled(name)
+        assert compiled.ok
+        workload = make_kernel(name, 0.05)
+        cases = [_lane_case(compiled, workload) for _ in range(3)]
+        results = simulate_batch(adg, None, cases)
+        for case, result in zip(cases, results):
+            memory = workload.make_memory()
+            bound = copy.deepcopy(compiled)
+            bound.scope.bind_constants(memory)
+            oracle = simulate(adg, bound, memory, engine="stepped")
+            assert sim_fields(result) == sim_fields(oracle)
+            for array in memory:
+                assert list(case.memory[array]) == list(memory[array])
+
+    def test_empty_batch(self):
+        assert simulate_batch(None, None, []) == []
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.data_too_large])
+    @given(
+        name=st.sampled_from(["mm", "ellpack", "pool"]),
+        batch=st.sampled_from([1, 3, 17]),
+        seed=st.integers(min_value=0, max_value=2**16),
+        max_faults=st.sampled_from([1, 2, 3]),
+    )
+    def test_fault_batches_match_stepped(self, name, batch, seed,
+                                         max_faults):
+        """Random fault draws, batched as one columnar run, classify
+        identically to per-case stepped runs."""
+        baseline = _baseline(name)
+        specs = [
+            generate_case(seed, index, workloads=(name,),
+                          adg=baseline.adg, max_faults=max_faults)
+            for index in range(batch)
+        ]
+        batched = run_cases_batched(specs, baseline=baseline,
+                                    sched_iters=60)
+        for case, outcome in zip(specs, batched):
+            oracle = run_case(case, baseline=baseline, sched_iters=60,
+                              sim_engine="stepped")
+            assert outcome.to_dict() == oracle.to_dict(), case.name
+
+    def test_mixed_deadlock_lanes_evicted(self, monkeypatch):
+        """Lanes forced to deadlock (impossible deadline) are evicted to
+        the scalar path with the oracle's exact stall report; healthy
+        lanes in the same batch are unaffected."""
+        adg, compiled = _compiled("mm")
+        workload = make_kernel("mm", 0.05)
+        cases = [
+            _lane_case(compiled, workload,
+                       deadline_factor=0 if index % 2 else None)
+            for index in range(5)
+        ]
+        telemetry = Telemetry()
+        results = simulate_batch(adg, None, cases, telemetry=telemetry)
+        assert telemetry.counters["sim_batch_lanes_evicted"] == 2
+
+        for index, (case, result) in enumerate(zip(cases, results)):
+            memory = workload.make_memory()
+            bound = copy.deepcopy(compiled)
+            bound.scope.bind_constants(memory)
+            if index % 2:
+                monkeypatch.setattr(machine, "_DEADLOCK_FACTOR", 0)
+                with pytest.raises(SimulationError) as excinfo:
+                    simulate(adg, bound, memory, engine="stepped")
+                monkeypatch.undo()
+                assert isinstance(result, SimulationError)
+                assert str(result) == str(excinfo.value)
+            else:
+                oracle = simulate(adg, bound, memory, engine="stepped")
+                assert sim_fields(result) == sim_fields(oracle)
+
+    def test_hundred_fault_cases_bit_identical(self):
+        """Acceptance: 100 seeded fault cases on one base ADG, every
+        surviving lane bit-identical to its stepped run (fields and
+        final memory)."""
+        baseline = _baseline("mm")
+        specs = [
+            generate_case(2026, index, workloads=("mm",),
+                          adg=baseline.adg, max_faults=2)
+            for index in range(100)
+        ]
+        prepared = []
+        for case in specs:
+            prep = _prepare_degrade(
+                baseline, case.fault_specs(),
+                rng=DeterministicRng((case.seed, "degrade", case.index)),
+                sched_iters=60,
+            )
+            if prep.compiled is not None:
+                prepared.append(prep)
+        assert len(prepared) >= 50, "fault draw unexpectedly hostile"
+
+        lanes = [
+            BatchCase(memory=copy.deepcopy(prep.memory),
+                      adg=prep.faulted, compiled=prep.compiled)
+            for prep in prepared
+        ]
+        telemetry = Telemetry()
+        results = simulate_batch(None, None, lanes, telemetry=telemetry)
+        assert telemetry.counters["sim_batch_lanes"] == len(lanes)
+
+        for prep, lane, result in zip(prepared, lanes, results):
+            memory = copy.deepcopy(prep.memory)
+            try:
+                oracle = simulate(prep.faulted, prep.compiled, memory,
+                                  engine="stepped")
+            except SimulationError as exc:
+                assert isinstance(result, SimulationError)
+                assert str(result) == str(exc)
+                continue
+            assert sim_fields(result) == sim_fields(oracle)
+            for array in memory:
+                assert list(lane.memory[array]) == list(memory[array])
+
+
+class TestEngineValidation:
+    """Unknown engine names fail fast at every entry point."""
+
+    def test_campaign_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown sim engine"):
+            run_campaign(workloads=("mm",), cases=1,
+                         sim_engine="warp-speed")
+
+    def test_degrade_path_rejects_unknown_engine(self):
+        baseline = _baseline("mm")
+        case = generate_case(1, 0, workloads=("mm",), adg=baseline.adg)
+        with pytest.raises(ValueError, match="unknown sim engine"):
+            run_case(case, baseline=baseline, sched_iters=60,
+                     sim_engine="warp-speed")

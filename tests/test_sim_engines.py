@@ -19,9 +19,9 @@ from repro.errors import SimulationError
 from repro.harness.compile_cache import cached_compile
 from repro.sim import SIM_ENGINES, default_engine, simulate
 from repro.utils.rng import DeterministicRng
-from repro.utils.telemetry import Telemetry
 from repro.workloads import kernel as make_kernel
 from repro.workloads.registry import workload_names
+from tests.engine_parity import assert_engine_parity, run_all_engines
 
 #: Workloads that need the SPU's indirect/join hardware to compile on
 #: their natural form.
@@ -51,26 +51,6 @@ def _compiled(name, accel, scale=0.05, iters=60, depth=None, banks=None):
     return adg, result
 
 
-def _fields(result):
-    return (result.cycles, result.region_cycles, result.memory_busy,
-            result.instances, result.config_cycles)
-
-
-def _run_both(adg, compiled, workload):
-    results = {}
-    telemetries = {}
-    for engine in SIM_ENGINES:
-        memory = workload.make_memory()
-        scope_copy = copy.deepcopy(compiled)
-        scope_copy.scope.bind_constants(memory)
-        telemetries[engine] = Telemetry()
-        results[engine] = simulate(
-            adg, scope_copy, memory,
-            engine=engine, telemetry=telemetries[engine],
-        )
-    return results, telemetries
-
-
 class TestRegistryParity:
     """Acceptance: bit-identical SimResult on every registry workload."""
 
@@ -80,8 +60,8 @@ class TestRegistryParity:
         adg, compiled = _compiled(name, accel)
         assert compiled.ok, f"{name} failed to compile on {accel}"
         workload = make_kernel(name, 0.05)
-        results, telemetries = _run_both(adg, compiled, workload)
-        assert _fields(results["event"]) == _fields(results["stepped"])
+        results, telemetries = run_all_engines(adg, compiled, workload)
+        assert_engine_parity(results)
 
         # Step accounting: every modeled cycle is either executed or
         # skipped, and the oracle never skips.
@@ -120,16 +100,16 @@ class TestRandomizedParity:
             scope_copy = copy.deepcopy(compiled)
             scope_copy.scope.bind_constants(memory)
             try:
-                outcomes[engine] = _fields(simulate(
+                outcomes[engine] = simulate(
                     adg, scope_copy, memory, engine=engine,
-                ))
+                )
             except SimulationError as exc:
                 # Some stressed shapes genuinely deadlock the machine
                 # model (e.g. depth-1 FIFOs under a join's pop burst);
                 # parity then means the same error at the same cycle
                 # with the same stall report.
                 outcomes[engine] = str(exc)
-        assert outcomes["event"] == outcomes["stepped"]
+        assert_engine_parity(outcomes)
 
     def test_functional_results_identical(self):
         adg, compiled = _compiled("mm", "softbrain")
@@ -141,13 +121,14 @@ class TestRandomizedParity:
             scope_copy.scope.bind_constants(memory)
             simulate(adg, scope_copy, memory, engine=engine)
             memories[engine] = memory
-        for array in memories["event"]:
-            assert all(
-                math.isclose(float(a), float(b),
-                             rel_tol=1e-12, abs_tol=1e-12)
-                for a, b in zip(memories["event"][array],
-                                memories["stepped"][array])
-            ), array
+        for engine in SIM_ENGINES:
+            for array in memories[engine]:
+                assert all(
+                    math.isclose(float(a), float(b),
+                                 rel_tol=1e-12, abs_tol=1e-12)
+                    for a, b in zip(memories[engine][array],
+                                    memories["stepped"][array])
+                ), (engine, array)
 
 
 class TestFallbackEdgeCases:
@@ -162,8 +143,8 @@ class TestFallbackEdgeCases:
         assert compiled.ok
         assert compiled.scope.barriers, "expected a barriered scope"
         workload = make_kernel(name, 0.05)
-        results, _ = _run_both(adg, compiled, workload)
-        assert _fields(results["event"]) == _fields(results["stepped"])
+        results, _ = run_all_engines(adg, compiled, workload)
+        assert_engine_parity(results)
 
     @pytest.mark.parametrize("name", ["ellpack", "stencil2d", "mm"])
     def test_depth_one_fifo_boundaries(self, name):
@@ -172,8 +153,8 @@ class TestFallbackEdgeCases:
         adg, compiled = _compiled(name, "softbrain", depth=1)
         assert compiled.ok
         workload = make_kernel(name, 0.05)
-        results, _ = _run_both(adg, compiled, workload)
-        assert _fields(results["event"]) == _fields(results["stepped"])
+        results, _ = run_all_engines(adg, compiled, workload)
+        assert_engine_parity(results)
 
     def test_deadlock_diagnostics_identical(self, monkeypatch):
         """An impossible deadline trips the deadlock error at the same
@@ -189,7 +170,7 @@ class TestFallbackEdgeCases:
             with pytest.raises(SimulationError) as excinfo:
                 simulate(adg, scope_copy, memory, engine=engine)
             messages[engine] = str(excinfo.value)
-        assert messages["event"] == messages["stepped"]
+        assert_engine_parity(messages)
         report = messages["event"]
         assert "simulation deadlock at cycle" in report
         assert "unfinished regions" in report
@@ -215,13 +196,20 @@ class TestEngineSelection:
         monkeypatch.delenv("REPRO_SIM_ENGINE")
         assert default_engine() == "event"
 
+    def test_unknown_env_engine_rejected(self, monkeypatch):
+        """Bugfix: a typo'd REPRO_SIM_ENGINE used to fall through to the
+        stepped path silently; it must fail fast naming the engines."""
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "warp-speed")
+        with pytest.raises(ValueError, match="unknown sim engine"):
+            default_engine()
+
     def test_event_engine_skips_cycles(self):
         """The point of the rewrite: on a long steady-state workload the
         event engine executes far fewer cycle-steps."""
         adg, compiled = _compiled("histogram", "softbrain")
         workload = make_kernel("histogram", 0.05)
-        results, telemetries = _run_both(adg, compiled, workload)
-        assert _fields(results["event"]) == _fields(results["stepped"])
+        results, telemetries = run_all_engines(adg, compiled, workload)
+        assert_engine_parity(results)
         stepped = telemetries["stepped"].counters["sim_steps_executed"]
         event = telemetries["event"].counters["sim_steps_executed"]
         assert stepped == results["stepped"].cycles
