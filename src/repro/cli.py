@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro verify mm --target softbrain
     python -m repro fuzz --cases 50 --seed 2026 --out fuzz-repros
     python -m repro faults --cases 25 --seed 2026 --out fault-repros
+    python -m repro serve --store /var/tmp/repro-store --port 8753
+    python -m repro submit compile mm --server 127.0.0.1:8753
 
 Every subcommand is a thin shell over the library; scripts wanting more
 control should import :mod:`repro` directly.
@@ -280,6 +282,81 @@ def cmd_faults(args):
     return 0 if summary.ok else 1
 
 
+def cmd_serve(args):
+    import asyncio
+
+    from repro.server import ArtifactStore, serve
+    from repro.utils.telemetry import Telemetry
+
+    try:
+        telemetry = Telemetry(jsonl_path=args.telemetry_out)
+    except OSError as exc:
+        raise SystemExit(f"cannot open --telemetry-out: {exc}")
+    store = ArtifactStore(
+        args.store, max_entries=args.max_entries,
+        max_bytes=args.max_bytes, telemetry=telemetry,
+    )
+
+    def ready(address):
+        host, port = address
+        print(f"serving on {host}:{port} store={args.store}",
+              flush=True)
+
+    with telemetry:
+        try:
+            asyncio.run(serve(
+                store, host=args.host, port=args.port,
+                workers=args.workers, eval_timeout=args.eval_timeout,
+                tenant_quota=args.tenant_quota, telemetry=telemetry,
+                ready=ready,
+            ))
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def cmd_submit(args):
+    import pickle
+
+    from repro.server import (
+        JobSpec,
+        ServerClient,
+        decode_artifact,
+        parse_address,
+    )
+
+    host, port = parse_address(args.server)
+    adg = None
+    if args.adg:
+        with open(args.adg) as handle:
+            adg = json.load(handle)
+    try:
+        options = json.loads(args.options) if args.options else {}
+        spec = JobSpec(
+            kind=args.kind, workload=args.workload,
+            preset=args.preset, adg=adg, scale=args.scale,
+            seed=args.seed, sched_iters=args.sched_iters,
+            sim_engine=args.sim_engine, options=options,
+            tenant=args.tenant, priority=args.priority,
+        )
+    except (ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"bad job spec: {exc}")
+    with ServerClient(host, port) as client:
+        if args.no_wait:
+            response = client.submit(spec)
+            print(json.dumps(response, indent=2, default=str))
+            return 0 if response.get("ok") else 1
+        record = client.run(spec)
+    printable = {k: v for k, v in record.items()
+                 if k != "artifact_b64"}
+    print(json.dumps(printable, indent=2, default=str))
+    if args.out and record.get("artifact_b64"):
+        with open(args.out, "wb") as handle:
+            pickle.dump(decode_artifact(record), handle)
+        print(f"wrote {args.out}")
+    return 0 if record.get("ok") else 1
+
+
 def cmd_hwgen(args):
     from repro.hwgen import emit_verilog, generate_config_paths
     from repro.hwgen.config_path import longest_path_length
@@ -479,6 +556,69 @@ def build_parser():
                                help="re-run one serialized fault repro "
                                     "instead of a campaign")
 
+    serve_parser = sub.add_parser(
+        "serve", help="run the compile-as-a-service job server"
+    )
+    serve_parser.add_argument("--store", default="repro-store",
+                              help="artifact-store directory "
+                                   "(default: repro-store)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8753,
+                              help="TCP port (0 = ephemeral; the "
+                                   "bound port is printed)")
+    serve_parser.add_argument("--workers", type=int, default=1,
+                              help="worker-pool shards (0 = one "
+                                   "serial in-process thread)")
+    serve_parser.add_argument("--eval-timeout", type=float,
+                              default=None,
+                              help="per-job timeout in seconds "
+                                   "(timeouts retry once serially)")
+    serve_parser.add_argument("--tenant-quota", type=int, default=8,
+                              help="max queued+running jobs per "
+                                   "tenant (cache hits are free)")
+    serve_parser.add_argument("--max-entries", type=int, default=None,
+                              help="store entry cap (LRU eviction)")
+    serve_parser.add_argument("--max-bytes", type=int, default=None,
+                              help="store payload-byte cap "
+                                   "(LRU eviction)")
+    serve_parser.add_argument("--telemetry-out", default=None,
+                              help="write a JSONL job log here")
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit one job to a running server"
+    )
+    submit_parser.add_argument("kind",
+                               choices=["compile", "simulate",
+                                        "faults", "dse", "noop"])
+    submit_parser.add_argument("workload", nargs="?", default="mm",
+                               help="workload name (comma-separated "
+                                    "for faults/dse)")
+    submit_parser.add_argument("--server", default="127.0.0.1:8753",
+                               metavar="HOST:PORT")
+    submit_parser.add_argument("--preset", default="softbrain",
+                               choices=sorted(topologies.PRESETS))
+    submit_parser.add_argument("--adg", default=None, metavar="FILE",
+                               help="inline ADG JSON (overrides "
+                                    "--preset)")
+    submit_parser.add_argument("--scale", type=float, default=0.05)
+    submit_parser.add_argument("--seed", type=int, default=0)
+    submit_parser.add_argument("--sched-iters", type=int, default=60)
+    submit_parser.add_argument("--sim-engine", default=None,
+                               choices=list(SIM_ENGINES))
+    submit_parser.add_argument("--options", default=None,
+                               metavar="JSON",
+                               help="kind-specific options, e.g. "
+                                    "'{\"cases\": 5}'")
+    submit_parser.add_argument("--tenant", default="default")
+    submit_parser.add_argument("--priority", type=int, default=10,
+                               help="lower runs sooner")
+    submit_parser.add_argument("--no-wait", action="store_true",
+                               help="enqueue and print the job id "
+                                    "instead of waiting")
+    submit_parser.add_argument("--out", default=None,
+                               help="write the unpickled artifact "
+                                    "here (pickle)")
+
     hwgen_parser = sub.add_parser(
         "hwgen", help="generate hardware artifacts for a design"
     )
@@ -512,6 +652,8 @@ _COMMANDS = {
     "verify": cmd_verify,
     "fuzz": cmd_fuzz,
     "faults": cmd_faults,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
     "hwgen": cmd_hwgen,
     "report": cmd_report,
 }

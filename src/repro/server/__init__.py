@@ -1,0 +1,52 @@
+"""Compilation-as-a-service: an async job server over a persistent
+content-addressed artifact store.
+
+The DSAGEN flow is a pure function from (ADG, kernel, seed, flags) to
+artifacts — compiled mapping, control program, ``SimResult`` — which is
+exactly the shape of a cacheable compile service. This package turns
+every existing subsystem (compile, simulate, fault campaigns, DSE) into
+a job type on one substrate:
+
+* :mod:`repro.server.store` — :class:`ArtifactStore`, the persistent
+  on-disk content-addressed cache (atomic writes, versioned payloads,
+  LRU/size eviction, hit/miss/eviction telemetry).
+* :mod:`repro.server.jobs` — :class:`JobSpec` (JSON-serializable, pure
+  in its inputs), :func:`job_key`, and the :func:`execute_job` worker.
+* :mod:`repro.server.server` — :class:`CompileServer`, the asyncio
+  front-end (priority queue, per-tenant quotas, coalescing, sharded
+  resilient worker pool) plus :class:`BackgroundServer` for embedding.
+* :mod:`repro.server.client` — :class:`ServerClient`, the synchronous
+  JSON-lines client.
+
+CLI: ``repro serve`` runs a server; ``repro submit`` sends one job.
+"""
+
+from repro.server.client import ServerClient, decode_artifact, \
+    parse_address
+from repro.server.jobs import (
+    CACHEABLE_KINDS,
+    JOB_KINDS,
+    JobSpec,
+    artifact_digest,
+    execute_job,
+    job_key,
+)
+from repro.server.server import BackgroundServer, CompileServer, serve
+from repro.server.store import ArtifactStore, StoreError
+
+__all__ = [
+    "ArtifactStore",
+    "BackgroundServer",
+    "CACHEABLE_KINDS",
+    "CompileServer",
+    "JOB_KINDS",
+    "JobSpec",
+    "ServerClient",
+    "StoreError",
+    "artifact_digest",
+    "decode_artifact",
+    "execute_job",
+    "job_key",
+    "parse_address",
+    "serve",
+]

@@ -1,0 +1,136 @@
+"""Synchronous JSON-lines client for the compile service.
+
+One :class:`ServerClient` holds one TCP connection and speaks the
+request/response protocol documented in :mod:`repro.server.server`.
+The client is deliberately dependency-free (plain sockets, no asyncio)
+so harnesses, benchmarks, and shell one-liners can use it without an
+event loop.
+
+```
+client = ServerClient("127.0.0.1", 8753)
+result = client.run(JobSpec(kind="compile", workload="mm"))
+compiled = decode_artifact(result)
+```
+"""
+
+import base64
+import json
+import pickle
+import socket
+
+from repro.server.jobs import JobSpec
+
+__all__ = ["ServerClient", "decode_artifact", "parse_address"]
+
+
+def parse_address(text, default_port=8753):
+    """``"host:port"`` / ``"host"`` / ``":port"`` → ``(host, port)``."""
+    host, _, port = str(text).rpartition(":")
+    if not host:
+        host, port = (port, "") if not port.isdigit() else ("", port)
+    return (host or "127.0.0.1",
+            int(port) if port else default_port)
+
+
+def decode_artifact(record):
+    """Unpickle the artifact carried by a completion record."""
+    blob = record.get("artifact_b64")
+    if blob is None:
+        raise ValueError(
+            f"record carries no artifact: {record.get('error') or record}"
+        )
+    return pickle.loads(base64.b64decode(blob))
+
+
+class ServerClient:
+    """One connection to a running :class:`CompileServer`."""
+
+    def __init__(self, host="127.0.0.1", port=8753, timeout=600.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock = None
+        self._reader = None
+
+    def _connect(self):
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._reader = self._sock.makefile("rb")
+
+    def request(self, payload):
+        """One request/response round-trip (reconnects once on a
+        dropped connection)."""
+        for attempt in (0, 1):
+            self._connect()
+            try:
+                self._sock.sendall(
+                    json.dumps(payload).encode() + b"\n"
+                )
+                line = self._reader.readline()
+                if line:
+                    return json.loads(line)
+                raise ConnectionError("server closed the connection")
+            except (OSError, ConnectionError):
+                self.close()
+                if attempt:
+                    raise
+        raise ConnectionError("unreachable")
+
+    # -- operations ----------------------------------------------------
+    @staticmethod
+    def _job_dict(spec):
+        return spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+
+    def submit(self, spec):
+        """Enqueue without waiting; returns the submit response
+        (``job_id`` on success, ``error`` on rejection)."""
+        return self.request({"op": "submit",
+                             "job": self._job_dict(spec)})
+
+    def wait(self, job_id):
+        """Block until ``job_id`` completes; returns its record."""
+        return self.request({"op": "wait", "job_id": job_id})
+
+    def run(self, spec):
+        """Submit + wait in one round-trip."""
+        return self.request({"op": "run", "job": self._job_dict(spec)})
+
+    def result(self, job_id):
+        """Non-blocking completion query."""
+        return self.request({"op": "result", "job_id": job_id})
+
+    def stats(self):
+        return self.request({"op": "stats"})["stats"]
+
+    def ping(self):
+        return self.request({"op": "ping"}).get("ok", False)
+
+    def shutdown(self):
+        """Ask the server to stop (returns its acknowledgement)."""
+        try:
+            return self.request({"op": "shutdown"})
+        finally:
+            self.close()
+
+    def close(self):
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False

@@ -1,0 +1,541 @@
+"""Asyncio compile-service front-end.
+
+One :class:`CompileServer` owns an :class:`~repro.server.store
+.ArtifactStore` (it is the store's single writer) and serves JSON-lines
+requests over TCP:
+
+```
+{"op": "submit", "job": {...JobSpec...}}   -> {"ok", "job_id", "state"}
+{"op": "wait",   "job_id": "..."}          -> completion record
+{"op": "run",    "job": {...}}             -> submit + wait, one trip
+{"op": "stats"}                            -> store/queue/counter stats
+{"op": "ping"} / {"op": "shutdown"}
+```
+
+A completion record carries ``status``, the job ``summary``, the
+artifact as base64 pickle (``artifact_b64``), its canonical ``digest``,
+``cached`` (served from the store without computing), and ``seconds``.
+
+Scheduling:
+
+* **Cache fast path** — admissions look the job key up in the store
+  first; a hit completes the job immediately, never touching the
+  queue, so warm requests cost one socket round-trip plus one store
+  read.
+* **Coalescing** — a submit whose key is already queued/running
+  attaches to the in-flight job instead of duplicating the work.
+* **Priority queue** — pending jobs order by ``(priority, seq)``;
+  lower priority values run sooner, FIFO within a priority.
+* **Per-tenant quotas** — each tenant may hold at most ``tenant_quota``
+  queued+running jobs; submits beyond that are rejected with
+  ``error: "quota-exceeded"`` (cache hits and coalesced attaches are
+  free and never rejected).
+* **Sharded resilient workers** — computed jobs dispatch to
+  ``workers`` single-process shards (forked ``ProcessPoolExecutor``s),
+  shard chosen by key digest so identical keys serialize onto the same
+  shard. The shards reuse the resilient DSE pool semantics: an
+  ``eval_timeout`` bounds each job, and a timeout or a broken pool
+  rebuilds the shard and retries the job once serially (in a thread)
+  before failing it. ``workers=0`` runs every job on one serial
+  thread — the deterministic mode tests and small deployments use.
+"""
+
+import asyncio
+import base64
+import heapq
+import itertools
+import json
+import pickle
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.server.jobs import (
+    CACHEABLE_KINDS,
+    JobSpec,
+    artifact_digest,
+    compile_subkey,
+    execute_job,
+    job_key,
+)
+from repro.server.store import ArtifactStore
+
+__all__ = ["CompileServer", "BackgroundServer", "serve"]
+
+_PROTOCOL_VERSION = 1
+#: Completed jobs kept around for late ``wait``/``result`` queries.
+_COMPLETED_RETENTION = 1024
+
+
+class _Job:
+    __slots__ = ("job_id", "spec", "key", "state", "future", "cached",
+                 "exec_seq", "error", "record")
+
+    def __init__(self, job_id, spec, key, future):
+        self.job_id = job_id
+        self.spec = spec
+        self.key = key          # None for uncacheable kinds
+        self.state = "queued"   # queued | running | done | failed
+        self.future = future    # resolves to the completion record
+        self.cached = False
+        self.exec_seq = None    # server-wide execution order stamp
+        self.error = None
+        self.record = None
+
+
+class CompileServer:
+    """The asyncio job server. Construct, then ``await start()``."""
+
+    def __init__(self, store, workers=1, eval_timeout=None,
+                 tenant_quota=8, telemetry=None):
+        if not isinstance(store, ArtifactStore):
+            raise TypeError("store must be an ArtifactStore")
+        self.store = store
+        self.workers = max(0, int(workers))
+        self.eval_timeout = eval_timeout
+        self.tenant_quota = tenant_quota
+        self.telemetry = telemetry
+        self.counters = {}
+        self.address = None
+        self._tcp_server = None
+        self._loop = None
+        self._job_ids = itertools.count(1)
+        self._exec_seq = itertools.count(1)
+        self._queue_seq = itertools.count(1)
+        self._active = {}          # job_id -> _Job (queued or running)
+        self._completed = OrderedDict()   # job_id -> _Job (bounded)
+        self._inflight = {}        # key -> _Job, for coalescing
+        self._tenant_load = {}     # tenant -> queued+running count
+        self._shard_queues = []    # per shard: heap of (pri, seq, job)
+        self._shard_wakeups = []   # per shard: asyncio.Event
+        self._shard_tasks = []
+        self._pools = []
+        self._serial = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serial"
+        )
+        self._shutdown = None      # asyncio.Event once started
+
+    # -- lifecycle -----------------------------------------------------
+    def _shard_count(self):
+        return max(1, self.workers)
+
+    def _make_pool(self):
+        if self.workers == 0:
+            return None
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            return None  # no fork: fall back to the serial thread
+        return ProcessPoolExecutor(max_workers=1, mp_context=context)
+
+    async def start(self, host="127.0.0.1", port=0):
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        for _ in range(self._shard_count()):
+            self._shard_queues.append([])
+            self._shard_wakeups.append(asyncio.Event())
+            self._pools.append(self._make_pool())
+        self._tcp_server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        self.address = self._tcp_server.sockets[0].getsockname()[:2]
+        for shard in range(self._shard_count()):
+            self._shard_tasks.append(
+                self._loop.create_task(self._shard_runner(shard))
+            )
+        return self.address
+
+    async def serve_until_shutdown(self):
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self):
+        self._shutdown.set()
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+        for task in self._shard_tasks:
+            task.cancel()
+        for task in self._shard_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for pool in self._pools:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        self._serial.shutdown(wait=False, cancel_futures=True)
+        self.store.close()
+
+    # -- counters ------------------------------------------------------
+    def _incr(self, name, amount=1):
+        self.counters[name] = self.counters.get(name, 0) + amount
+        if self.telemetry is not None:
+            self.telemetry.incr(name, amount)
+
+    # -- admission -----------------------------------------------------
+    def submit(self, spec):
+        """Admit one job; returns the :class:`_Job` (possibly already
+        complete on a cache hit) or raises ``ValueError`` on quota."""
+        self._incr("server_submits")
+        key = job_key(spec) if spec.kind in CACHEABLE_KINDS else None
+        if key is not None:
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self._incr("server_coalesced")
+                return inflight
+            envelope = self.store.get(key)
+            if envelope is not self.store.MISS:
+                self._incr("server_cache_hits")
+                job = _Job(f"job-{next(self._job_ids)}", spec, key,
+                           self._loop.create_future())
+                job.cached = True
+                self._finish(job, envelope["status"],
+                             artifact=envelope["artifact"],
+                             summary=envelope["summary"], seconds=0.0)
+                return job
+            self._incr("server_cache_misses")
+        load = self._tenant_load.get(spec.tenant, 0)
+        if self.tenant_quota is not None and load >= self.tenant_quota:
+            self._incr("server_rejected_quota")
+            raise ValueError(
+                f"quota-exceeded: tenant {spec.tenant!r} already has "
+                f"{load} jobs in flight (quota {self.tenant_quota})"
+            )
+        job = _Job(f"job-{next(self._job_ids)}", spec, key,
+                   self._loop.create_future())
+        self._active[job.job_id] = job
+        if key is not None:
+            self._inflight[key] = job
+        self._tenant_load[spec.tenant] = load + 1
+        shard = self._shard_of(key, job.job_id)
+        heapq.heappush(
+            self._shard_queues[shard],
+            (spec.priority, next(self._queue_seq), job),
+        )
+        self._shard_wakeups[shard].set()
+        self._incr("server_enqueued")
+        return job
+
+    def _shard_of(self, key, job_id):
+        if key is None:
+            return hash(job_id) % self._shard_count()
+        return int(self.store.key_digest(key)[:8], 16) \
+            % self._shard_count()
+
+    # -- execution -----------------------------------------------------
+    async def _shard_runner(self, shard):
+        queue = self._shard_queues[shard]
+        wakeup = self._shard_wakeups[shard]
+        while True:
+            while not queue:
+                wakeup.clear()
+                await wakeup.wait()
+            _, _, job = heapq.heappop(queue)
+            await self._run_job(shard, job)
+
+    async def _run_job(self, shard, job):
+        job.state = "running"
+        job.exec_seq = next(self._exec_seq)
+        spec = job.spec
+        compiled_payload = None
+        if spec.kind == "simulate":
+            cached = self.store.get(compile_subkey(spec))
+            if cached is not self.store.MISS \
+                    and cached["status"] == "ok":
+                self._incr("server_compile_reuse")
+                compiled_payload = pickle.dumps(
+                    cached["artifact"], protocol=4
+                )
+        call = (execute_job, spec.to_dict(), compiled_payload)
+        try:
+            out = await self._execute_resilient(shard, call)
+        except Exception as exc:  # worker raised even after retry
+            self._incr("server_job_errors")
+            self._finish(job, "failed", error=f"{type(exc).__name__}: "
+                         f"{exc}")
+            return
+        artifact = pickle.loads(out["payload"])
+        if job.key is not None:
+            # Failed-but-deterministic outcomes are cached too:
+            # replaying a compile that finds no legal mapping must not
+            # redo the search, and the envelope preserves its status.
+            self.store.put(job.key, {
+                "status": out["status"], "summary": out["summary"],
+                "artifact": artifact,
+            })
+            for derived_key, payload in out.get("derived", {}).items():
+                derived = pickle.loads(payload)
+                self.store.put(derived_key, {
+                    "status": "ok" if getattr(derived, "ok", True)
+                    else "failed",
+                    "summary": {"ok": getattr(derived, "ok", True)},
+                    "artifact": derived,
+                })
+        self._finish(job, out["status"],
+                     artifact=artifact, summary=out["summary"],
+                     seconds=out["seconds"])
+
+    async def _execute_resilient(self, shard, call):
+        """Resilient DSE pool semantics: pooled attempt bounded by
+        ``eval_timeout``; timeout or pool breakage rebuilds the shard
+        and retries once serially."""
+        func, *args = call
+        pool = self._pools[shard]
+        if pool is None:
+            return await self._loop.run_in_executor(
+                self._serial, func, *args
+            )
+        try:
+            return await asyncio.wait_for(
+                self._loop.run_in_executor(pool, func, *args),
+                timeout=self.eval_timeout,
+            )
+        except asyncio.TimeoutError:
+            self._incr("server_job_timeouts")
+        except BrokenProcessPool:
+            self._incr("server_pool_broken")
+        self._rebuild_pool(shard)
+        self._incr("server_retries_serial")
+        return await self._loop.run_in_executor(
+            self._serial, func, *args
+        )
+
+    def _rebuild_pool(self, shard):
+        pool = self._pools[shard]
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self._incr("server_pool_rebuilds")
+        self._pools[shard] = self._make_pool()
+
+    def _finish(self, job, status, artifact=None, summary=None,
+                seconds=0.0, error=None):
+        job.state = status if status in ("done", "failed") else (
+            "done" if status == "ok" else "failed"
+        )
+        job.error = error
+        record = {
+            "ok": job.state == "done",
+            "job_id": job.job_id,
+            "state": job.state,
+            "status": status,
+            "cached": job.cached,
+            "exec_seq": job.exec_seq,
+            "seconds": seconds,
+            "summary": summary or {},
+        }
+        if error is not None:
+            record["error"] = error
+        if artifact is not None or job.state == "done":
+            record["artifact_b64"] = base64.b64encode(
+                pickle.dumps(artifact, protocol=4)
+            ).decode("ascii")
+            record["digest"] = artifact_digest(artifact)
+        job.record = record
+        # Bookkeeping for jobs that actually occupied the queue.
+        if job.job_id in self._active:
+            del self._active[job.job_id]
+            tenant = job.spec.tenant
+            load = self._tenant_load.get(tenant, 1) - 1
+            if load <= 0:
+                self._tenant_load.pop(tenant, None)
+            else:
+                self._tenant_load[tenant] = load
+        if job.key is not None and \
+                self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
+        self._completed[job.job_id] = job
+        while len(self._completed) > _COMPLETED_RETENTION:
+            self._completed.popitem(last=False)
+        self._incr("server_jobs_done" if job.state == "done"
+                   else "server_jobs_failed")
+        if self.telemetry is not None:
+            self.telemetry.event({
+                "type": "job", "job_id": job.job_id,
+                "kind": job.spec.kind, "tenant": job.spec.tenant,
+                "state": job.state, "cached": job.cached,
+                "seconds": seconds,
+            })
+        if not job.future.done():
+            job.future.set_result(record)
+
+    # -- protocol ------------------------------------------------------
+    async def _handle_connection(self, reader, writer):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    response = await self._dispatch(request)
+                except Exception as exc:
+                    response = {"ok": False,
+                                "error": f"{type(exc).__name__}: {exc}"}
+                writer.write(json.dumps(response, default=str)
+                             .encode() + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _dispatch(self, request):
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "protocol": _PROTOCOL_VERSION}
+        if op == "stats":
+            return {"ok": True, "stats": self.stats()}
+        if op == "shutdown":
+            self._shutdown.set()
+            return {"ok": True, "stopping": True}
+        if op == "submit":
+            job = self._submit_from(request)
+            if isinstance(job, dict):
+                return job
+            return {"ok": True, "job_id": job.job_id,
+                    "state": job.state, "cached": job.cached}
+        if op in ("wait", "run"):
+            if op == "run":
+                job = self._submit_from(request)
+                if isinstance(job, dict):
+                    return job
+            else:
+                job = self._find_job(request.get("job_id"))
+                if job is None:
+                    return {"ok": False, "error": "unknown job_id"}
+            if job.record is not None:
+                return job.record
+            return await asyncio.shield(job.future)
+        if op == "result":
+            job = self._find_job(request.get("job_id"))
+            if job is None:
+                return {"ok": False, "error": "unknown job_id"}
+            if job.record is not None:
+                return job.record
+            return {"ok": True, "job_id": job.job_id,
+                    "state": job.state, "pending": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _submit_from(self, request):
+        try:
+            spec = JobSpec.from_dict(request.get("job") or {})
+            return self.submit(spec)
+        except (TypeError, ValueError) as exc:
+            return {"ok": False, "error": str(exc)}
+
+    def _find_job(self, job_id):
+        return self._active.get(job_id) or self._completed.get(job_id)
+
+    def stats(self):
+        return {
+            "address": list(self.address) if self.address else None,
+            "workers": self.workers,
+            "tenant_quota": self.tenant_quota,
+            "queued": sum(len(q) for q in self._shard_queues),
+            "active": len(self._active),
+            "tenants": dict(sorted(self._tenant_load.items())),
+            "counters": dict(sorted(self.counters.items())),
+            "store": self.store.stats(),
+        }
+
+
+# -- embedding helpers -------------------------------------------------
+async def serve(store, host="127.0.0.1", port=0, workers=1,
+                eval_timeout=None, tenant_quota=8, telemetry=None,
+                ready=None):
+    """Run a server until a ``shutdown`` op (or cancellation).
+    ``ready(address)`` is called once listening."""
+    server = CompileServer(
+        store, workers=workers, eval_timeout=eval_timeout,
+        tenant_quota=tenant_quota, telemetry=telemetry,
+    )
+    address = await server.start(host, port)
+    if ready is not None:
+        ready(address)
+    try:
+        await server.serve_until_shutdown()
+    except asyncio.CancelledError:
+        await server.stop()
+        raise
+    return server
+
+
+class BackgroundServer:
+    """A server hosted on a daemon thread — the in-process harness for
+    tests and notebooks.
+
+    ```
+    with BackgroundServer(store_root) as bg:
+        client = ServerClient(*bg.address)
+    ```
+    """
+
+    def __init__(self, store_root, workers=0, eval_timeout=None,
+                 tenant_quota=8, max_entries=None, max_bytes=None,
+                 telemetry=None):
+        import threading
+
+        self._started = threading.Event()
+        self._startup_error = None
+        self.address = None
+        self.server = None
+        self._loop = None
+
+        def _run():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                store = ArtifactStore(
+                    store_root, max_entries=max_entries,
+                    max_bytes=max_bytes, telemetry=telemetry,
+                )
+                self.server = CompileServer(
+                    store, workers=workers, eval_timeout=eval_timeout,
+                    tenant_quota=tenant_quota, telemetry=telemetry,
+                )
+                self.address = loop.run_until_complete(
+                    self.server.start()
+                )
+            except Exception as exc:
+                self._startup_error = exc
+                self._started.set()
+                return
+            self._started.set()
+            loop.run_until_complete(self.server.serve_until_shutdown())
+            loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.address is None:
+            raise RuntimeError("server failed to start within 30s")
+
+    def stop(self, timeout=30):
+        if self._loop is not None and self.server is not None:
+            self._loop.call_soon_threadsafe(
+                self.server._shutdown.set
+            )
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+        return False

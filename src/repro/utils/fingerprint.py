@@ -1,0 +1,83 @@
+"""Canonical typed encodings for cache keys and content addressing.
+
+The compile memo and the artifact store both key results on "everything
+the computation depends on". ``json.dumps(..., default=str)`` is not a
+safe key encoder: two *distinct* values that stringify identically
+(``numpy.int64(5)`` and the string ``"5"``, or two enum members with the
+same ``str``) collapse to the same key, silently serving one request's
+artifact for another. The encoders here are therefore *typed* and
+*closed*: every supported type gets an unambiguous tagged encoding, and
+anything unsupported raises ``TypeError`` at the call site instead of
+being lossily coerced.
+
+Guarantees:
+
+* ``canonical_dumps(a) == canonical_dumps(b)`` iff ``a`` and ``b`` are
+  structurally equal values of the same types (tuples and lists are
+  deliberately identified — both mean "sequence" in cache keys).
+* Floats encode by ``float.hex()`` — exact bits, independent of repr
+  formatting; ``-0.0`` and ``0.0`` are distinct, as are ``1`` and
+  ``1.0`` and ``True``.
+* Dict/set iteration order never leaks into the encoding (entries are
+  sorted by their encoded form).
+"""
+
+import enum
+import hashlib
+import json
+
+__all__ = ["canonical_encode", "canonical_dumps", "content_digest"]
+
+
+def canonical_encode(value):
+    """Reduce ``value`` to a JSON-safe tree that encodes type as well
+    as structure. Raises ``TypeError`` for unsupported types."""
+    # bool before int: bool is an int subclass.
+    if value is None:
+        return "n"
+    if isinstance(value, bool):
+        return ["t", 1 if value else 0]
+    if isinstance(value, int):
+        # As a string: arbitrary precision survives any JSON parser.
+        return ["i", str(value)]
+    if isinstance(value, float):
+        return ["f", value.hex() if value == value else "nan"]
+    if isinstance(value, str):
+        return ["u", value]
+    if isinstance(value, (bytes, bytearray)):
+        return ["b", bytes(value).hex()]
+    if isinstance(value, enum.Enum):
+        return ["e", type(value).__name__,
+                canonical_encode(value.value)]
+    if isinstance(value, (list, tuple)):
+        return ["l", [canonical_encode(item) for item in value]]
+    if isinstance(value, (set, frozenset)):
+        encoded = sorted(
+            (canonical_encode(item) for item in value),
+            key=lambda tree: json.dumps(tree, separators=(",", ":")),
+        )
+        return ["s", encoded]
+    if isinstance(value, dict):
+        entries = [
+            [canonical_encode(key), canonical_encode(item)]
+            for key, item in value.items()
+        ]
+        entries.sort(
+            key=lambda pair: json.dumps(pair[0], separators=(",", ":"))
+        )
+        return ["d", entries]
+    raise TypeError(
+        f"cannot canonically encode {type(value).__name__!r} value "
+        f"{value!r}; pass plain ints/floats/strings/containers"
+    )
+
+
+def canonical_dumps(value):
+    """The canonical string form of ``value`` (stable across processes
+    and Python versions; raises ``TypeError`` on unsupported types)."""
+    return json.dumps(canonical_encode(value), separators=(",", ":"))
+
+
+def content_digest(value):
+    """Hex SHA-256 of the canonical encoding — the content address."""
+    return hashlib.sha256(canonical_dumps(value).encode()).hexdigest()

@@ -123,7 +123,10 @@ class Telemetry:
         if not self.enabled or self.jsonl_path is None:
             return
         if self._handle is None:
-            self._handle = open(self.jsonl_path, "w")
+            # Reopen in *append* mode: the handle being closed means the
+            # file already holds this run's earlier records, and a "w"
+            # reopen would silently truncate them.
+            self._handle = open(self.jsonl_path, "a")
         self._handle.write(json.dumps(record, default=str) + "\n")
         self._handle.flush()
 

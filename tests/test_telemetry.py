@@ -122,6 +122,19 @@ class TestJsonlLog:
             telemetry.event({"weird": {1, 2}})
         assert json.loads(path.read_text())["weird"]
 
+    def test_event_after_close_appends(self, tmp_path):
+        """Regression: an event after close() used to reopen the log
+        with mode "w", silently truncating every earlier record."""
+        path = tmp_path / "run.jsonl"
+        telemetry = Telemetry(jsonl_path=str(path))
+        telemetry.event({"type": "first"})
+        telemetry.close()
+        telemetry.event({"type": "late"})
+        telemetry.close()
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert [r["type"] for r in records] == ["first", "late"]
+
 
 class TestDisabled:
     def test_disabled_writes_no_file(self, tmp_path):
