@@ -1,0 +1,116 @@
+"""Microbenchmark: multi-fidelity DSE funnel (PR 8).
+
+Runs the same short fig14 trajectory (one workload set, fixed seed)
+twice — once with ``fidelity="full"`` (every mutated candidate is
+repaired, compiled, and simulated) and once with ``fidelity="multi"``
+(the surrogate ranks an 8x-wider generation, the analytical model
+filters the top slice, and only the finalists get the full pipeline).
+Pins the funnel at >= 5x candidates *considered* per wall-clock second
+at an equal-or-better final objective, and checks the surrogate
+actually recalibrated (refit events with a calibration-error series
+land in the JSONL run log).
+
+Both runs are seed-deterministic, so the objective comparison is exact
+rather than statistical; only the wall-clock ratio is a measurement.
+
+Set ``REPRO_DSE_SURROGATE_TELEMETRY_OUT`` to keep the multi run's JSONL
+log (the CI dse-surrogate job uploads it as an artifact).
+"""
+
+import json
+import os
+
+from conftest import run_once
+
+from repro.harness import fig14
+
+SETS = {"machsuite": ("mm", "md")}
+SCALE = float(os.environ.get("REPRO_DSE_SURROGATE_SCALE", "0.05"))
+ITERS = int(os.environ.get("REPRO_DSE_SURROGATE_ITERS", "6"))
+SCHED_ITERS = int(os.environ.get("REPRO_DSE_SURROGATE_SCHED_ITERS",
+                                 "40"))
+BATCH = 3
+RECALIBRATE_EVERY = 8
+SEED = 0
+
+
+def test_multi_fidelity_throughput(benchmark, tmp_path):
+    out = os.environ.get(
+        "REPRO_DSE_SURROGATE_TELEMETRY_OUT",
+        str(tmp_path / "dse-surrogate.jsonl"),
+    )
+    kwargs = dict(
+        workload_sets=SETS, scale=SCALE, dse_iters=ITERS,
+        sched_iters=SCHED_ITERS, seed=SEED, batch=BATCH,
+    )
+
+    def measure():
+        _, full = fig14.run(fidelity="full", **kwargs)
+        _, multi = fig14.run(
+            fidelity="multi", recalibrate_every=RECALIBRATE_EVERY,
+            telemetry_out=out, **kwargs,
+        )
+        return full, multi
+
+    full, multi = run_once(benchmark, measure)
+
+    full_rate = full["throughput"]["considered_per_sec"]
+    multi_rate = multi["throughput"]["considered_per_sec"]
+    print(f"\nconsidered/second: full={full_rate:.2f}  "
+          f"multi={multi_rate:.2f}  "
+          f"speedup={multi_rate / full_rate:.1f}x  "
+          f"(considered {multi['throughput']['candidates_considered']} "
+          f"vs {full['throughput']['candidates_considered']}, "
+          f"evaluated {multi['throughput']['candidates_evaluated']})")
+    print(f"objective improvement: full="
+          f"{full['mean_objective_improvement']:.3f}  "
+          f"multi={multi['mean_objective_improvement']:.3f}")
+
+    # The funnel considers strictly more of the design space...
+    assert (multi["throughput"]["candidates_considered"]
+            > full["throughput"]["candidates_considered"])
+    # ...at >= 5x the rate (the ISSUE's headline pin)...
+    assert multi_rate >= 5 * full_rate, (
+        f"multi-fidelity funnel only {multi_rate / full_rate:.1f}x"
+    )
+    # ...while ending at an equal-or-better objective (exact: both
+    # trajectories are deterministic functions of the seed).
+    assert (multi["mean_objective_improvement"]
+            >= full["mean_objective_improvement"])
+    assert multi["mean_area_saving"] >= 0.10
+
+    # The surrogate trained and recalibrated during the run, and its
+    # calibration error was reported each refit.
+    stats = multi["surrogate"]["machsuite"]
+    assert stats["trained"]
+    assert stats["refits"] >= 2
+    assert stats["last_calibration"]["objective_mae"] >= 0.0
+    assert stats["last_calibration"]["schedulable_brier"] >= 0.0
+
+    # Append the headline numbers, then check the run log carries the
+    # calibration-error series (one surrogate_refit event per refit).
+    with open(out, "a") as handle:
+        handle.write(json.dumps({
+            "type": "dse_surrogate_perf",
+            "iters": ITERS,
+            "scale": SCALE,
+            "speedup": multi_rate / full_rate,
+            "full": full["throughput"],
+            "multi": multi["throughput"],
+            "objective_improvement": {
+                "full": full["mean_objective_improvement"],
+                "multi": multi["mean_objective_improvement"],
+            },
+            "surrogate": stats,
+        }) + "\n")
+    with open(out) as handle:
+        records = [json.loads(line) for line in handle]
+    refits = [r for r in records if r.get("type") == "surrogate_refit"]
+    assert len(refits) == stats["refits"]
+    # The first refit's window predates any trained model, so its
+    # held-out error can be null; every measured value is finite.
+    series = [r["objective_mae"] for r in refits]
+    assert all(value is None or value >= 0.0 for value in series), \
+        series
+    assert any(value is not None for value in series), series
+    assert records[-1]["type"] == "dse_surrogate_perf"

@@ -4,6 +4,11 @@
 will first inspect if the underlying hardware has the corresponding feature
 to support it" (Section IV-C). :class:`FeatureSet` is that inspection,
 captured once per ADG so transformation passes stay hardware-agnostic.
+
+:func:`graph_feature_vector` is the quantitative sibling: a fixed-length
+numeric description of an ADG's graph structure (kind counts, FU mix,
+switch radix histogram, link/memory/FIFO statistics) consumed by the
+learned surrogate cost model (:mod:`repro.estimation.surrogate`).
 """
 
 from dataclasses import dataclass, replace
@@ -67,3 +72,119 @@ class FeatureSet:
 
     def supports_op(self, op_name):
         return op_name in self.supported_ops
+
+
+# ---------------------------------------------------------------------------
+# Graph feature vector (surrogate cost-model input)
+# ---------------------------------------------------------------------------
+
+#: One representative opcode per functional-unit family; the vector
+#: records how many PEs support each family (the design's "FU mix").
+FU_FAMILY_OPS = (
+    "add", "mul", "fadd", "fmul", "fdiv", "sigmoid", "sjoin", "and",
+)
+
+#: Switch radix (in-degree + out-degree) histogram bucket upper bounds;
+#: the last bucket is open-ended.
+RADIX_BUCKETS = (2, 4, 6, 8)
+
+GRAPH_FEATURE_NAMES = (
+    "n_nodes", "n_pes", "n_switches", "n_sync_in", "n_sync_out",
+    "n_links", "n_fabric_links", "mean_link_width",
+    "n_dynamic_pes", "n_shared_pes", "n_decomposable_pes",
+    "total_instruction_slots", "total_delay_fifo_depth",
+    "total_pe_ops", "distinct_ops",
+    *(f"fu_{op}" for op in FU_FAMILY_OPS),
+    *(f"radix_le{bound}" for bound in RADIX_BUCKETS),
+    "radix_gt8", "mean_switch_radix", "n_decomposable_switches",
+    "mean_pe_degree", "max_pe_degree",
+    "spad_capacity_kb", "spad_banks", "spad_width_bytes",
+    "spad_stream_slots", "spad_indirect", "spad_atomic",
+    "spad_coalescing", "memory_bandwidth_words",
+    "sync_buffer_words", "mean_sync_depth",
+)
+
+
+def graph_feature_vector(adg):
+    """A fixed-length ``list[float]`` describing the ADG's structure.
+
+    Values align with :data:`GRAPH_FEATURE_NAMES`. The vector is a pure
+    function of the graph (no randomness, no scheduling state), cheap
+    enough to compute for every candidate of a wide DSE generation, and
+    deliberately hand-built: counts and first moments only, so a small
+    ridge regressor can be refit from scratch in microseconds.
+    """
+    pes = adg.pes()
+    switches = adg.switches()
+    sync_ports = adg.sync_elements()
+    links = adg.links()
+    fabric_names = {c.name for c in pes} | {s.name for s in switches}
+    fabric_links = [
+        link for link in links
+        if link.src in fabric_names and link.dst in fabric_names
+    ]
+    inputs = [p for p in sync_ports if p.direction.value == "input"]
+    outputs = [p for p in sync_ports if p.direction.value == "output"]
+
+    supported = set()
+    for pe in pes:
+        supported |= set(pe.op_names)
+    radix_counts = [0] * (len(RADIX_BUCKETS) + 1)
+    radices = []
+    for switch in switches:
+        radix = adg.degree(switch.name)
+        radices.append(radix)
+        for slot, bound in enumerate(RADIX_BUCKETS):
+            if radix <= bound:
+                radix_counts[slot] += 1
+                break
+        else:
+            radix_counts[-1] += 1
+    pe_degrees = [adg.degree(pe.name) for pe in pes]
+
+    spad = adg.scratchpad()
+    sync_words = sum(
+        port.depth * max(1, port.width // 64) for port in sync_ports
+    )
+
+    def mean(values):
+        values = list(values)
+        return sum(values) / len(values) if values else 0.0
+
+    features = [
+        float(len(adg)),
+        float(len(pes)),
+        float(len(switches)),
+        float(len(inputs)),
+        float(len(outputs)),
+        float(len(links)),
+        float(len(fabric_links)),
+        mean(link.width / 64.0 for link in links),
+        float(sum(1 for pe in pes if pe.is_dynamic)),
+        float(sum(1 for pe in pes if pe.is_shared)),
+        float(sum(1 for pe in pes if pe.decomposable_to < pe.width)),
+        float(sum(pe.max_instructions for pe in pes)),
+        float(sum(pe.delay_fifo_depth for pe in pes)),
+        float(sum(len(pe.op_names) for pe in pes)),
+        float(len(supported)),
+        *(float(sum(1 for pe in pes if op in pe.op_names))
+          for op in FU_FAMILY_OPS),
+        *(float(count) for count in radix_counts),
+        mean(radices),
+        float(sum(
+            1 for sw in switches if sw.decomposable_to < sw.width
+        )),
+        mean(pe_degrees),
+        float(max(pe_degrees, default=0)),
+        float(spad.capacity_bytes / 1024.0 if spad else 0.0),
+        float(spad.banks if spad else 0.0),
+        float(spad.width_bytes if spad else 0.0),
+        float(spad.num_stream_slots if spad else 0.0),
+        float(bool(spad.indirect) if spad else 0.0),
+        float(bool(spad.atomic_update) if spad else 0.0),
+        float(bool(spad.coalescing) if spad else 0.0),
+        float(sum(m.bandwidth_bits for m in adg.memories()) / 64.0),
+        float(sync_words),
+        mean(port.depth for port in sync_ports),
+    ]
+    return features

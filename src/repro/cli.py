@@ -164,6 +164,10 @@ def cmd_dse(args):
             telemetry=telemetry,
             verify_schedules=args.verify,
             eval_timeout=args.eval_timeout,
+            fidelity=args.fidelity,
+            surrogate_top=args.surrogate_top,
+            surrogate_widen=args.surrogate_widen,
+            recalibrate_every=args.recalibrate_every,
         )
         result = explorer.run(
             max_iters=args.iters,
@@ -473,6 +477,22 @@ def build_parser():
     dse_parser.add_argument("--batch", type=int, default=None,
                             help="candidates per generation "
                                  "(default: --workers)")
+    dse_parser.add_argument("--fidelity", default=None,
+                            help="generation pipeline: 'multi' "
+                                 "(surrogate-ranked wide generation, "
+                                 "full compile on finalists) or 'full' "
+                                 "(default: $REPRO_DSE_FIDELITY or "
+                                 "multi)")
+    dse_parser.add_argument("--surrogate-top", type=int, default=None,
+                            help="finalists fully evaluated per "
+                                 "generation (default: --batch)")
+    dse_parser.add_argument("--surrogate-widen", type=int, default=8,
+                            help="generation width multiplier scored "
+                                 "by the surrogate before ranking")
+    dse_parser.add_argument("--recalibrate-every", type=int, default=16,
+                            help="realized evaluations between "
+                                 "surrogate refits (calibration error "
+                                 "reported each refit)")
     dse_parser.add_argument("--telemetry-out", default=None,
                             help="write a JSONL run log here")
     dse_parser.add_argument("--out", default=None,

@@ -8,19 +8,29 @@
 * :mod:`repro.dse.objective` — the perf^2/mm^2 co-design objective with
   hard area/power budgets.
 * :mod:`repro.dse.explorer` — the generational loop: mutate a batch of
-  candidates, repair every kernel's schedule on each new hardware
+  candidates (a surrogate-ranked wide generation under the default
+  ``multi`` fidelity), repair every kernel's schedule on each finalist
   (Section V-A), estimate — optionally across a process pool with a
   seed-deterministic trajectory — and accept the best improvement.
 """
 
-from repro.dse.mutation import MUTATIONS, AdgMutator
+from repro.dse.mutation import MUTATIONS, AdgMutator, sample_generation
 from repro.dse.objective import DseObjective
-from repro.dse.explorer import DesignSpaceExplorer, DseHistoryEntry, DseResult
+from repro.dse.explorer import (
+    DSE_FIDELITIES,
+    DesignSpaceExplorer,
+    DseHistoryEntry,
+    DseResult,
+    default_fidelity,
+)
 
 __all__ = [
     "AdgMutator",
     "MUTATIONS",
+    "sample_generation",
     "DseObjective",
+    "DSE_FIDELITIES",
+    "default_fidelity",
     "DesignSpaceExplorer",
     "DseResult",
     "DseHistoryEntry",

@@ -23,7 +23,29 @@ candidate ADG and warm schedules cross the process boundary. When
 ``workers=1``, ``fork`` is unavailable, or the pool breaks, evaluation
 falls back to in-process serial execution of the same pure function.
 
-Every stage (mutate / estimate / compile) is wrapped in
+With the default ``fidelity="multi"``, each generation runs a
+three-fidelity funnel instead of fully evaluating every mutant:
+
+1. **surrogate** — a ``surrogate_widen``-times wider mutated generation
+   is scored by the online ridge model of
+   :mod:`repro.estimation.surrogate` (microseconds per candidate) and
+   ranked best-first; until the model has trained the ranking is the
+   identity permutation, so the early trajectory matches ``full``;
+2. **analytical** — the ranked list is filtered against the area/power
+   budgets with the exact analytical model full evaluation would use,
+   so a finalist slot is never wasted on a candidate that full fidelity
+   would reject as over-budget anyway;
+3. **full** — repair + compile + simulate runs only on the
+   ``surrogate_top`` finalists (default: the generation batch size).
+
+The funnel stays deterministic: candidates draw mutation seeds by the
+same ``("mutate", iteration, idx)`` keys at any width, the surrogate is
+trained *only* in the main process from realized evaluations in
+candidate-index order (its state is a pure function of that history),
+and ``fidelity="full"`` bypasses stages 1-2 entirely — bit-identical to
+the pre-surrogate explorer.
+
+Every stage (mutate / surrogate / estimate / compile) is wrapped in
 :class:`repro.utils.telemetry.Telemetry` timers and counters, and each
 generation can be appended to a JSONL run log.
 """
@@ -40,15 +62,40 @@ from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 
+from repro.adg.features import graph_feature_vector
 from repro.compiler.pipeline import compile_kernel
-from repro.dse.mutation import AdgMutator, trim_unused_features
+from repro.dse.mutation import (
+    AdgMutator,
+    sample_generation,
+    trim_unused_features,
+)
 from repro.dse.objective import DseObjective
 from repro.errors import CompilationError, DsagenError, DseError
 from repro.estimation.perf_model import PerformanceModel
 from repro.estimation.power_area import default_model
+from repro.estimation.surrogate import SurrogateModel
 from repro.scheduler.repair import strip_invalid
 from repro.utils.rng import DeterministicRng
 from repro.utils.telemetry import Telemetry
+
+#: Generation-pipeline fidelity modes: ``multi`` = surrogate-ranked wide
+#: generation -> analytical budget filter -> full compile on finalists;
+#: ``full`` = every candidate fully evaluated (the pre-surrogate loop).
+DSE_FIDELITIES = ("multi", "full")
+
+
+def default_fidelity():
+    """The fidelity used when the explorer/CLI is not told one:
+    ``$REPRO_DSE_FIDELITY`` or ``multi``. Unknown values fail fast here
+    rather than silently falling back (a typo'd env var would otherwise
+    change the trajectory without a trace)."""
+    value = os.environ.get("REPRO_DSE_FIDELITY", "multi")
+    if value not in DSE_FIDELITIES:
+        raise DseError(
+            f"REPRO_DSE_FIDELITY={value!r} is not a DSE fidelity; "
+            f"expected one of {', '.join(DSE_FIDELITIES)}"
+        )
+    return value
 
 
 @dataclass
@@ -158,7 +205,9 @@ class CandidateOutcome:
 _EVAL_CONTEXT = None
 
 #: Checkpoint-file schema version (see ``DesignSpaceExplorer.run``).
-CHECKPOINT_VERSION = 1
+#: v2: the state blob grew the surrogate model (training buffer and
+#: fitted weights), and the record pins the fidelity knobs.
+CHECKPOINT_VERSION = 2
 
 
 def _compile_kernels(context, adg, rng, warm_schedules=None, budget=None):
@@ -319,11 +368,40 @@ class DesignSpaceExplorer:
         telemetry=None,
         verify_schedules=False,
         eval_timeout=None,
+        fidelity=None,
+        surrogate_top=None,
+        surrogate_widen=8,
+        recalibrate_every=16,
     ):
         self.kernels = list(kernels)
         self.initial_adg = initial_adg
         self.rng = rng or DeterministicRng("dse")
         self.mutator = AdgMutator(self.rng.fork("mutate"))
+        # Multi-fidelity knobs (see module docstring). fidelity=None
+        # defers to $REPRO_DSE_FIDELITY (default "multi"); bad values
+        # fail here, before any compute is spent.
+        fidelity = default_fidelity() if fidelity is None else fidelity
+        if fidelity not in DSE_FIDELITIES:
+            raise DseError(
+                f"unknown DSE fidelity {fidelity!r}; expected one of "
+                f"{', '.join(DSE_FIDELITIES)}"
+            )
+        if surrogate_top is not None and int(surrogate_top) < 1:
+            raise DseError("surrogate_top must be >= 1")
+        if int(surrogate_widen) < 1:
+            raise DseError("surrogate_widen must be >= 1")
+        if int(recalibrate_every) < 1:
+            raise DseError("recalibrate_every must be >= 1")
+        self.fidelity = fidelity
+        self.surrogate_top = (
+            int(surrogate_top) if surrogate_top is not None else None
+        )
+        self.surrogate_widen = int(surrogate_widen)
+        self.recalibrate_every = int(recalibrate_every)
+        self.surrogate = (
+            SurrogateModel(recalibrate_every=self.recalibrate_every)
+            if fidelity == "multi" else None
+        )
         self.sched_iters = sched_iters
         # The first mapping starts from nothing: give it a bigger budget
         # (every later step starts from a repaired schedule).
@@ -468,6 +546,14 @@ class DesignSpaceExplorer:
         workers = self.workers if workers is None else max(1, int(workers))
         batch = batch if batch is not None else self.batch
         batch = max(1, int(batch)) if batch is not None else max(1, workers)
+        # Multi-fidelity geometry: mutate a widened generation, fully
+        # evaluate only the finalists. Full fidelity is the degenerate
+        # funnel (width == finalists == batch, no surrogate stage).
+        finalists = self.surrogate_top or batch
+        width = (
+            finalists * self.surrogate_widen
+            if self.fidelity == "multi" else batch
+        )
         patience = patience if patience is not None else max_iters
         checkpoint_every = max(1, int(checkpoint_every))
         if eval_timeout is not None:
@@ -481,7 +567,12 @@ class DesignSpaceExplorer:
 
         context = self._context()
         if saved is not None:
-            best_adg, schedules, cycles, results = saved["state"]
+            (best_adg, schedules, cycles, results,
+             saved_surrogate) = saved["state"]
+            if self.surrogate is not None:
+                # Bit-exact training state: the resumed trajectory sees
+                # the same model the uninterrupted run would have.
+                self.surrogate = saved_surrogate
             self.objective.set_baseline(saved["baseline_cycles"])
             best_score = saved["best_objective"]
             result = DseResult(
@@ -553,7 +644,7 @@ class DesignSpaceExplorer:
                 ):
                     accepted = self._run_generation(
                         [(trimmed, ["trim"])], schedules, 1, result,
-                        best_score, context,
+                        best_score, context, finalists=finalists,
                     )
                     if accepted is not None:
                         best_adg, best_score, cycles, schedules = accepted
@@ -564,32 +655,24 @@ class DesignSpaceExplorer:
                     self._write_checkpoint(
                         checkpoint_path, 1, stale, result, best_score,
                         (best_adg, schedules, cycles,
-                         result.kernel_results),
+                         result.kernel_results, self.surrogate),
                     )
 
             for iteration in range(start_iteration, max_iters + 2):
                 if stale >= patience:
                     break
-                candidates = []
                 with telemetry.timer("mutate"):
-                    for idx in range(batch):
-                        mutator = AdgMutator(
-                            self.rng.spawn("mutate", iteration, idx)
-                        )
-                        try:
-                            mutated, descriptions = mutator.mutate(
-                                best_adg, count=mutations_per_step
-                            )
-                        except DseError:
-                            telemetry.incr("mutations_failed")
-                            continue
-                        candidates.append((mutated, descriptions))
+                    candidates = sample_generation(
+                        self.rng, best_adg, width, iteration,
+                        mutations_per_step=mutations_per_step,
+                        telemetry=telemetry,
+                    )
                 if not candidates:
                     stale += 1
                 else:
                     accepted = self._run_generation(
                         candidates, schedules, iteration, result,
-                        best_score, context,
+                        best_score, context, finalists=finalists,
                     )
                     if accepted is None:
                         stale += 1
@@ -604,7 +687,7 @@ class DesignSpaceExplorer:
                         checkpoint_path, iteration, stale, result,
                         best_score,
                         (best_adg, schedules, cycles,
-                         result.kernel_results),
+                         result.kernel_results, self.surrogate),
                     )
         finally:
             if self._pool is not None:
@@ -616,18 +699,26 @@ class DesignSpaceExplorer:
             self._write_checkpoint(
                 checkpoint_path, last_iteration, stale, result,
                 best_score,
-                (best_adg, schedules, cycles, result.kernel_results),
+                (best_adg, schedules, cycles, result.kernel_results,
+                 self.surrogate),
             )
 
         wall = time.perf_counter() - run_start
         evaluated = telemetry.counters.get("candidates_evaluated", 0)
+        considered = telemetry.counters.get("candidates_considered", 0)
         summary = telemetry.summary()
         summary.update({
             "wall_seconds": wall,
             "workers": workers,
             "batch": batch,
+            "fidelity": self.fidelity,
+            "finalists": finalists,
+            "generation_width": width,
             "candidates_per_sec": evaluated / wall if wall > 0 else 0.0,
+            "considered_per_sec": considered / wall if wall > 0 else 0.0,
         })
+        if self.surrogate is not None:
+            summary["surrogate"] = self.surrogate.stats()
         result.telemetry = summary
         telemetry.event({"type": "summary", **summary})
         return result
@@ -637,14 +728,19 @@ class DesignSpaceExplorer:
                           best_score, state):
         """Atomically persist the run state as JSON + a pickle blob.
 
-        History / objective / baseline stay human-readable; the ADG and
-        warm schedules ride in a base64 pickle blob because the JSON ADG
-        round-trip renumbers link ids, which would orphan every warm
-        route.
+        History / objective / baseline stay human-readable; the ADG,
+        warm schedules, and surrogate training state ride in a base64
+        pickle blob because the JSON ADG round-trip renumbers link ids,
+        which would orphan every warm route (and the surrogate buffer
+        must round-trip bit-exactly).
         """
         record = {
             "version": CHECKPOINT_VERSION,
             "seed": repr(self.rng.seed),
+            "fidelity": self.fidelity,
+            "surrogate_top": self.surrogate_top,
+            "surrogate_widen": self.surrogate_widen,
+            "recalibrate_every": self.recalibrate_every,
             "iteration": iteration,
             "stale": stale,
             "best_objective": best_score,
@@ -677,6 +773,15 @@ class DesignSpaceExplorer:
                 f"{record.get('seed')}; this run uses {self.rng.seed!r} "
                 "— resuming would break trajectory determinism"
             )
+        for knob in ("fidelity", "surrogate_top", "surrogate_widen",
+                     "recalibrate_every"):
+            if record.get(knob) != getattr(self, knob):
+                raise DseError(
+                    f"checkpoint {path!r} was written with "
+                    f"{knob}={record.get(knob)!r}; this run uses "
+                    f"{getattr(self, knob)!r} — resuming would break "
+                    "trajectory determinism"
+                )
         return {
             "state": pickle.loads(
                 base64.b64decode(record["state_blob"])
@@ -691,23 +796,78 @@ class DesignSpaceExplorer:
         }
 
     # ------------------------------------------------------------------
+    def _select_finalists(self, candidates, finalists):
+        """Stages 1-2 of the multi-fidelity funnel (main process only,
+        so pooling can never perturb the surrogate's training state).
+
+        Returns ``(chosen, features, predictions)`` where ``chosen``
+        holds at most ``finalists`` indices into ``candidates``, in
+        surrogate-rank order; ``features``/``predictions`` are indexed
+        like ``candidates`` (the chosen subset feeds training later).
+        Full fidelity skips the funnel: every candidate is a finalist.
+        """
+        telemetry = self.telemetry
+        telemetry.incr("candidates_considered", len(candidates))
+        if self.surrogate is None:
+            return list(range(len(candidates))), None, None
+        # Stage 1: surrogate scores the wide generation. Untrained
+        # models rank by index, so finalists match full fidelity until
+        # the first refit.
+        with telemetry.timer("surrogate"):
+            features = [
+                graph_feature_vector(adg) for adg, _ in candidates
+            ]
+            predictions = [
+                self.surrogate.predict(vector) for vector in features
+            ]
+            order = SurrogateModel.rank(predictions)
+            telemetry.incr("surrogate_scored", len(candidates))
+        # Stage 2: analytical budget filter over the ranked list — the
+        # exact area/power model full evaluation would apply, so no
+        # finalist slot is spent on a guaranteed-rejection.
+        chosen = []
+        with telemetry.timer("analytical_filter"):
+            for src in order:
+                if len(chosen) >= finalists:
+                    break
+                area, power = self.area_power.estimate(
+                    candidates[src][0]
+                )
+                if (area > self.objective.area_budget_mm2
+                        or power > self.objective.power_budget_mw):
+                    telemetry.incr("fidelity_analytical_rejected")
+                    continue
+                chosen.append(src)
+        telemetry.incr("fidelity_finalists", len(chosen))
+        return chosen, features, predictions
+
     def _run_generation(self, candidates, warm_schedules, iteration,
-                        result, best_score, context):
+                        result, best_score, context, finalists=None):
         """Evaluate one generation of (adg, descriptions) candidates.
 
-        Appends one history entry per candidate (in index order), picks
-        the best strict improvement, and returns the new incumbent tuple
+        With the surrogate enabled the generation is first funneled
+        through :meth:`_select_finalists`; full evaluation, history
+        entries, and acceptance apply to the finalists only (history
+        records realized evaluations — the funnel's rejects surface in
+        counters and the generation event instead). Appends one history
+        entry per finalist (in index order), picks the best strict
+        improvement, and returns the new incumbent tuple
         ``(adg, score, cycles, schedules)`` — or None when the whole
         generation is rejected.
         """
         telemetry = self.telemetry
+        if finalists is None:
+            finalists = len(candidates)
+        chosen, features, predictions = self._select_finalists(
+            candidates, finalists
+        )
         tasks = [
             CandidateTask(
-                index=idx, iteration=iteration, adg=adg,
+                index=idx, iteration=iteration, adg=candidates[src][0],
                 warm_schedules=warm_schedules,
                 seed=self.rng.spawn("eval", iteration, idx).seed,
             )
-            for idx, (adg, _descriptions) in enumerate(candidates)
+            for idx, src in enumerate(chosen)
         ]
         with telemetry.timer("evaluate"):
             outcomes = self._evaluate_batch(tasks, context)
@@ -742,12 +902,39 @@ class DesignSpaceExplorer:
                 iteration=iteration, area_mm2=outcome.area,
                 power_mw=outcome.power, performance=performance,
                 objective=scores[idx], accepted=accepted,
-                mutations=list(candidates[idx][1]),
+                mutations=list(candidates[chosen[idx]][1]),
                 candidate=outcome.index,
             ))
+        if self.surrogate is not None:
+            # Online training: realized finalists append to the buffer
+            # in candidate-index order (outcomes are already ordered),
+            # so the model state is a pure function of the trajectory.
+            with telemetry.timer("surrogate"):
+                for idx, outcome in enumerate(outcomes):
+                    src = chosen[idx]
+                    self.surrogate.observe(
+                        features[src], outcome.ok, scores[idx],
+                        cycles=outcome.cycles,
+                        prediction=predictions[src],
+                    )
+                refit = self.surrogate.maybe_refit()
+            if refit is not None:
+                telemetry.incr("surrogate_refits")
+                telemetry.event({
+                    "type": "surrogate_refit",
+                    "iteration": iteration,
+                    **refit,
+                })
         telemetry.event({
             "type": "generation",
             "iteration": iteration,
+            "fidelity": self.fidelity,
+            "considered": len(candidates),
+            "finalists": len(chosen),
+            "surrogate_trained": (
+                self.surrogate.trained
+                if self.surrogate is not None else False
+            ),
             "candidates": len(outcomes),
             "accepted_candidate": winner.index if winner else None,
             "best_objective": winner_score,
@@ -757,7 +944,7 @@ class DesignSpaceExplorer:
         })
         if winner is None:
             return None
-        adg = candidates[winner.index][0]
+        adg = candidates[chosen[winner.index]][0]
         result.kernel_results = winner.results
         return adg, winner_score, winner.cycles, winner.schedules
 

@@ -318,6 +318,34 @@ def _remove_sync_port(mutator, adg):
     return port.name
 
 
+def sample_generation(rng, adg, width, iteration, mutations_per_step=None,
+                      telemetry=None):
+    """Mutate ``width`` independent candidates off the incumbent ``adg``.
+
+    Returns ``[(mutated_adg, [descriptions]), ...]`` with at most
+    ``width`` entries (a slot whose mutation attempt finds no legal edit
+    is skipped and counted as ``mutations_failed``). Candidate ``idx``
+    always draws from the keyed child seed
+    ``rng.spawn("mutate", iteration, idx)`` — the same key for any
+    ``width`` — so a wide multi-fidelity generation is a strict superset
+    of the narrow full-fidelity one and worker count/generation width
+    cannot perturb the random stream.
+    """
+    candidates = []
+    for idx in range(width):
+        mutator = AdgMutator(rng.spawn("mutate", iteration, idx))
+        try:
+            mutated, descriptions = mutator.mutate(
+                adg, count=mutations_per_step
+            )
+        except DseError:
+            if telemetry is not None:
+                telemetry.incr("mutations_failed")
+            continue
+        candidates.append((mutated, descriptions))
+    return candidates
+
+
 def trim_unused_features(adg, schedules):
     """The explorer's cleanup move: drop FU groups no schedule uses and
     disable unused memory controllers (the paper's second-iteration

@@ -10,9 +10,13 @@
   the synthesis dataset (Section V-C), one model per component type.
 * :mod:`repro.estimation.power_area` — apply the regression to whole
   ADGs; "synthesize" whole fabrics for model validation (Figure 15).
+* :mod:`repro.estimation.surrogate` — the online learned cost model
+  (ridge over ADG graph features) that ranks wide DSE generations so
+  full compilation is reserved for the finalists.
 """
 
 from repro.estimation.perf_model import PerfEstimate, PerformanceModel
+from repro.estimation.surrogate import SurrogateModel, SurrogatePrediction
 from repro.estimation.power_area import (
     AreaPowerModel,
     default_model,
@@ -30,4 +34,6 @@ __all__ = [
     "synthesize_adg",
     "generate_dataset",
     "synthesize_component",
+    "SurrogateModel",
+    "SurrogatePrediction",
 ]

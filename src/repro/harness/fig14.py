@@ -20,16 +20,27 @@ DEFAULT_SETS = {
 
 
 def run(workload_sets=None, scale=0.05, dse_iters=15, sched_iters=50,
-        seed=0, workers=1, batch=None, telemetry_out=None):
+        seed=0, workers=1, batch=None, telemetry_out=None,
+        fidelity=None, surrogate_top=None, surrogate_widen=8,
+        recalibrate_every=16):
     """Returns ``(rows, summary)``: one row per evaluated candidate per
     set. ``workers``/``batch`` parallelize candidate evaluation (the
     trajectory stays seed-deterministic); ``telemetry_out`` appends the
-    JSONL run log of every set's exploration."""
+    JSONL run log of every set's exploration. ``fidelity`` and the
+    ``surrogate_*``/``recalibrate_every`` knobs select the explorer's
+    multi-fidelity funnel (fidelity=None defers to
+    ``$REPRO_DSE_FIDELITY``, default ``multi``)."""
     workload_sets = workload_sets or DEFAULT_SETS
     rows = []
     per_set = {}
-    throughput = {"wall_seconds": 0.0, "candidates_evaluated": 0}
+    throughput = {
+        "wall_seconds": 0.0,
+        "candidates_evaluated": 0,
+        "candidates_considered": 0,
+    }
     telemetry = Telemetry(jsonl_path=telemetry_out)
+    resolved_fidelity = None
+    surrogate_stats = {}
     for set_name, names in workload_sets.items():
         kernels = [make_kernel(name, scale) for name in names]
         telemetry.event({"type": "set", "set": set_name,
@@ -42,9 +53,17 @@ def run(workload_sets=None, scale=0.05, dse_iters=15, sched_iters=50,
             workers=workers,
             batch=batch,
             telemetry=telemetry,
+            fidelity=fidelity,
+            surrogate_top=surrogate_top,
+            surrogate_widen=surrogate_widen,
+            recalibrate_every=recalibrate_every,
         )
+        resolved_fidelity = explorer.fidelity
         evaluated_before = telemetry.counters.get(
             "candidates_evaluated", 0
+        )
+        considered_before = telemetry.counters.get(
+            "candidates_considered", 0
         )
         result = explorer.run(max_iters=dse_iters)
         throughput["wall_seconds"] += result.telemetry["wall_seconds"]
@@ -52,6 +71,12 @@ def run(workload_sets=None, scale=0.05, dse_iters=15, sched_iters=50,
             telemetry.counters.get("candidates_evaluated", 0)
             - evaluated_before
         )
+        throughput["candidates_considered"] += (
+            telemetry.counters.get("candidates_considered", 0)
+            - considered_before
+        )
+        if explorer.surrogate is not None:
+            surrogate_stats[set_name] = explorer.surrogate.stats()
         for entry in result.history:
             rows.append({
                 "set": set_name,
@@ -89,13 +114,20 @@ def run(workload_sets=None, scale=0.05, dse_iters=15, sched_iters=50,
         ),
         "throughput": {
             "workers": workers,
+            "fidelity": resolved_fidelity,
             "wall_seconds": wall,
             "candidates_evaluated": throughput["candidates_evaluated"],
+            "candidates_considered": throughput["candidates_considered"],
             "candidates_per_sec": (
                 throughput["candidates_evaluated"] / wall
                 if wall > 0 else 0.0
             ),
+            "considered_per_sec": (
+                throughput["candidates_considered"] / wall
+                if wall > 0 else 0.0
+            ),
         },
+        "surrogate": surrogate_stats,
         "counters": dict(telemetry.counters),
         "scheduler": scheduler_counters,
     }

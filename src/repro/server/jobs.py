@@ -242,24 +242,47 @@ def _run_dse(spec, compiled_payload):
 
     names = [n.strip() for n in spec.workload.split(",") if n.strip()]
     kernels = [make_kernel(name, spec.scale) for name in names]
+    options = spec.options
+    # Fidelity knobs come from the spec only (never the environment):
+    # they ride in spec.options, which job_key folds in, so cached
+    # results can never alias across fidelity settings — and a served
+    # job replays identically on any host.
     explorer = DesignSpaceExplorer(
         kernels, resolve_adg(spec),
         rng=DeterministicRng(spec.seed),
         sched_iters=spec.sched_iters,
+        fidelity=options.get("fidelity", "multi"),
+        surrogate_top=(
+            int(options["surrogate_top"])
+            if options.get("surrogate_top") is not None else None
+        ),
+        surrogate_widen=int(options.get("surrogate_widen", 8)),
+        recalibrate_every=int(options.get("recalibrate_every", 16)),
     )
     result = explorer.run(
         max_iters=int(spec.options.get("iters", 3))
     )
+    counters = explorer.telemetry.counters
     artifact = {
         "best_adg": adg_to_dict(result.best_adg),
         "best_objective": result.best_objective,
         "final_area": result.final_area,
         "iterations": len(result.history),
+        "fidelity": explorer.fidelity,
+        "candidates_considered": counters.get(
+            "candidates_considered", 0
+        ),
+        "candidates_evaluated": counters.get("candidates_evaluated", 0),
+        "surrogate": (
+            explorer.surrogate.stats()
+            if explorer.surrogate is not None else None
+        ),
     }
     summary = {
         "ok": True,
         "best_objective": result.best_objective,
         "final_area": result.final_area,
+        "fidelity": explorer.fidelity,
     }
     return artifact, summary, "ok", {}
 

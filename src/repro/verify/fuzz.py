@@ -99,6 +99,22 @@ class FuzzCase:
 
 
 @dataclass
+class BatchLane:
+    """Deferred batched-engine check for one case (campaign batching).
+
+    ``run_case(..., skip_batched=True)`` stashes everything the batched
+    engine needs here so :func:`run_fuzz` can simulate every surviving
+    case's lane in one :func:`repro.sim.simulate_batch` call instead of
+    one scalar run per case.
+    """
+
+    adg: object
+    compiled: object
+    expected: list
+    stepped: object
+
+
+@dataclass
 class CaseResult:
     """Outcome of running one case through the stack."""
 
@@ -106,6 +122,7 @@ class CaseResult:
     status: str = "ok"          # ok | divergent | unschedulable
     divergences: list = field(default_factory=list)
     reports: dict = field(default_factory=dict)
+    batch_lane: BatchLane = None
 
     @property
     def failed(self):
@@ -240,9 +257,15 @@ def build_kernel(case):
 # Running a case
 # ---------------------------------------------------------------------------
 
-def run_case(case, sched_iters=150):
+def run_case(case, sched_iters=150, skip_batched=False):
     """Run one case through every layer pair; returns a
-    :class:`CaseResult`."""
+    :class:`CaseResult`.
+
+    ``skip_batched=True`` defers the batched-engine comparison: instead
+    of a one-lane scalar run the result carries a :class:`BatchLane`
+    (when the case survives every earlier check) for the campaign to
+    simulate in one grouped :func:`repro.sim.simulate_batch` call.
+    """
     result = CaseResult(case=case)
     adg = build_adg(case)
     try:
@@ -287,8 +310,10 @@ def run_case(case, sched_iters=150):
             interp=list(interp_memory["out"]), expected=expected,
         )
 
+    engines = ("stepped", "event") if skip_batched \
+        else ("stepped", "event", "batched")
     engine_results = {}
-    for engine in ("stepped", "event", "batched"):
+    for engine in engines:
         memory = build_memory(case)
         try:
             engine_results[engine] = simulate(
@@ -305,18 +330,59 @@ def run_case(case, sched_iters=150):
             )
 
     stepped = engine_results["stepped"]
-    for engine in ("event", "batched"):
-        other = engine_results[engine]
-        for attribute in ("cycles", "instances", "region_cycles"):
-            left = getattr(stepped, attribute)
-            right = getattr(other, attribute)
-            if left != right:
-                result.record(
-                    "engine-divergence",
-                    f"stepped and {engine} engines disagree on {attribute}",
-                    attribute=attribute, stepped=left, **{engine: right},
-                )
+    for engine in engines[1:]:
+        _diff_engines(result, engine, stepped, engine_results[engine])
+    if skip_batched:
+        result.batch_lane = BatchLane(
+            adg=adg, compiled=compiled, expected=expected,
+            stepped=stepped,
+        )
     return result
+
+
+def _diff_engines(result, engine, stepped, other):
+    """Record any field where ``engine`` disagrees with the ``stepped``
+    oracle (shared by the scalar and campaign-batched paths)."""
+    for attribute in ("cycles", "instances", "region_cycles"):
+        left = getattr(stepped, attribute)
+        right = getattr(other, attribute)
+        if left != right:
+            result.record(
+                "engine-divergence",
+                f"stepped and {engine} engines disagree on {attribute}",
+                attribute=attribute, stepped=left, **{engine: right},
+            )
+
+
+def _resolve_batch_lanes(pending, telemetry=None):
+    """Run every surviving case's batched-engine lane in one
+    :func:`repro.sim.simulate_batch` call and apply the per-case
+    checks to each lane (bit-identical to the scalar path: the batched
+    engine is oracle-pinned against ``stepped``)."""
+    from repro.sim import BatchCase, simulate_batch
+
+    memories = [build_memory(result.case) for result in pending]
+    entries = simulate_batch(
+        None, None,
+        [
+            BatchCase(memory=memory, adg=result.batch_lane.adg,
+                      compiled=result.batch_lane.compiled)
+            for result, memory in zip(pending, memories)
+        ],
+        telemetry=telemetry,
+    )
+    for result, memory, entry in zip(pending, memories, entries):
+        lane = result.batch_lane
+        if isinstance(entry, SimulationError):
+            result.record("sim-crash-batched", str(entry))
+            continue
+        if list(memory["out"]) != lane.expected:
+            result.record(
+                "sim-mismatch-batched",
+                "batched engine output differs from the spec reference",
+                simulated=list(memory["out"]), expected=lane.expected,
+            )
+        _diff_engines(result, "batched", lane.stepped, entry)
 
 
 # ---------------------------------------------------------------------------
@@ -454,21 +520,37 @@ class FuzzSummary:
 
 def run_fuzz(cases=25, seed=2026, shrink=True, out_dir=None,
              preset="softbrain", max_mutations=2, sched_iters=150,
-             progress=None):
+             progress=None, batch_sim=True, telemetry=None):
     """Run a fuzz campaign; returns a :class:`FuzzSummary`.
 
     ``out_dir`` (created on demand) receives one shrunk JSON repro per
     failing case. ``progress`` is an optional ``callable(str)`` for
-    per-case status lines.
+    per-case status lines. With ``batch_sim`` (the default) the
+    batched-engine comparison of every case that survives the scalar
+    checks runs as one grouped :func:`repro.sim.simulate_batch` call —
+    same verdicts as per-case runs (asserted in the test suite), one
+    lock-stepped simulation instead of N. ``telemetry`` (optional)
+    collects the batch engine's ``sim_batch_*`` counters.
     """
     import os
 
     summary = FuzzSummary(seed=seed, cases=cases)
+    results = []
     for index in range(cases):
         case = generate_case(
             seed, index, preset=preset, max_mutations=max_mutations
         )
-        result = run_case(case, sched_iters=sched_iters)
+        results.append(run_case(
+            case, sched_iters=sched_iters, skip_batched=batch_sim,
+        ))
+    pending = [
+        result for result in results
+        if result.batch_lane is not None and not result.failed
+    ]
+    if pending:
+        _resolve_batch_lanes(pending, telemetry=telemetry)
+    for index, result in enumerate(results):
+        case = result.case
         if result.status == "unschedulable":
             summary.skipped += 1
             if progress:
