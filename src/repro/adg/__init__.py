@@ -28,6 +28,7 @@ from repro.adg.components import (
     SyncElement,
 )
 from repro.adg.graph import Adg, Link
+from repro.adg.merge import component_subsumes, merge_adgs, merge_all
 from repro.adg.validate import validate_adg
 from repro.adg.serialize import adg_from_dict, adg_to_dict, load_adg, save_adg
 from repro.adg import topologies
@@ -47,6 +48,9 @@ __all__ = [
     "Resourcing",
     "Direction",
     "validate_adg",
+    "merge_adgs",
+    "merge_all",
+    "component_subsumes",
     "adg_to_dict",
     "adg_from_dict",
     "save_adg",

@@ -1,0 +1,414 @@
+"""Capability-preserving fabric union (CDAC-style merged accelerators).
+
+:func:`merge_adgs` folds one ADG into another so a single fabric can
+serve every kernel either input served (via reconfiguration): each of
+``other``'s components is *unified* onto a compatible component of
+``base`` — the survivor's parameters become the capability union (op-set
+union, max buffer depths, finest decomposition, ...) — or, when ``base``
+has no partner left of that kind, cloned in under a fresh name. Links of
+``other`` are re-established between the mapped endpoints, preserving
+per-pair multiplicity and width.
+
+Three invariants make the result usable by the rest of the system:
+
+* **capability preservation** — for every node of ``other``, the mapped
+  node subsumes it (checked by :func:`component_subsumes`; the merge
+  re-verifies this and the per-pair link multiplicity before returning);
+* **honest failure** — a union that cannot be expressed (conflicting
+  atomic-update opcodes, an unknown component kind, a union graph that
+  fails composition validation) raises
+  :class:`~repro.errors.MergeError` instead of silently dropping
+  capability;
+* **determinism** — unification pairs components by a greedy
+  similarity score with lexicographic tie-breaks, so equal inputs give
+  bit-identical (fingerprint-stable) outputs and
+  ``merge(A, A)`` is structurally ``A``.
+
+``base``'s node names and link ids survive into the merged graph, which
+is what lets schedules mapped on ``base`` warm-start directly (routes
+included); schedules mapped on ``other`` translate through the returned
+node map (see :mod:`repro.scheduler.warmstart`).
+"""
+
+from repro.adg.components import (
+    ControlCore,
+    DelayFifo,
+    Memory,
+    ProcessingElement,
+    Resourcing,
+    Scheduling,
+    Switch,
+    SyncElement,
+)
+from repro.adg.validate import validate_adg
+from repro.errors import AdgValidationError, MergeError
+
+#: Fresh-name prefixes for components cloned (not unified) into the merge.
+_CLONE_PREFIX = {
+    "pe": "mpe",
+    "switch": "msw",
+    "memory": "mmem",
+    "sync": "mio",
+    "delay": "mdl",
+    "core": "mcore",
+}
+
+
+# ---------------------------------------------------------------------------
+# Capability subsumption
+# ---------------------------------------------------------------------------
+
+def component_subsumes(big, small):
+    """Capability gaps of ``big`` relative to ``small``.
+
+    Returns a list of human-readable gap descriptions; empty means every
+    mapping legal on ``small`` is legal on ``big`` (for the scheduler's
+    capability checks — utilization is shared, not duplicated).
+    """
+    gaps = []
+    if type(big) is not type(small):
+        return [f"kind {type(big).__name__} != {type(small).__name__}"]
+    if big.width < small.width:
+        gaps.append(f"width {big.width} < {small.width}")
+    if isinstance(small, ProcessingElement):
+        missing = set(small.op_names) - set(big.op_names)
+        if missing:
+            gaps.append(f"missing ops {sorted(missing)}")
+        if small.is_dynamic and not big.is_dynamic:
+            gaps.append("static cannot host dynamic dataflow")
+        if small.is_shared and not big.is_shared:
+            gaps.append("dedicated cannot host shared instructions")
+        if big.max_instructions < small.max_instructions:
+            gaps.append("fewer instruction slots")
+        if big.decomposable_to > small.decomposable_to:
+            gaps.append("coarser decomposition")
+        if big.delay_fifo_depth < small.delay_fifo_depth:
+            gaps.append("shallower delay FIFOs")
+        if big.register_file_size < small.register_file_size:
+            gaps.append("smaller register file")
+    elif isinstance(small, Switch):
+        if big.decomposable_to > small.decomposable_to:
+            gaps.append("coarser decomposition")
+        if big.routing_table_size < small.routing_table_size:
+            gaps.append("smaller routing table")
+        if small.is_dynamic and not big.is_dynamic:
+            gaps.append("static switch cannot host dynamic routing")
+    elif isinstance(small, Memory):
+        if big.kind is not small.kind:
+            gaps.append(f"memory kind {big.kind} != {small.kind}")
+        if big.capacity_bytes < small.capacity_bytes:
+            gaps.append("smaller capacity")
+        if big.width_bytes < small.width_bytes:
+            gaps.append("narrower data bus")
+        if big.num_stream_slots < small.num_stream_slots:
+            gaps.append("fewer stream slots")
+        if big.banks < small.banks:
+            gaps.append("fewer banks")
+        if small.indirect and not big.indirect:
+            gaps.append("no indirect controller")
+        if small.atomic_update and not big.atomic_update:
+            gaps.append("no atomic-update units")
+        if small.atomic_update and big.atomic_update \
+                and big.atomic_op != small.atomic_op:
+            gaps.append(
+                f"atomic op {big.atomic_op!r} != {small.atomic_op!r}"
+            )
+        if small.coalescing and not big.coalescing:
+            gaps.append("no request coalescing")
+    elif isinstance(small, SyncElement):
+        if big.direction is not small.direction:
+            gaps.append("opposite port direction")
+        if big.depth < small.depth:
+            gaps.append("shallower port FIFO")
+    elif isinstance(small, DelayFifo):
+        if big.depth < small.depth:
+            gaps.append("shallower delay FIFO")
+    elif isinstance(small, ControlCore):
+        if big.issue_width < small.issue_width:
+            gaps.append("narrower issue")
+        if big.command_queue_depth < small.command_queue_depth:
+            gaps.append("shallower command queue")
+        if small.programmable and not big.programmable:
+            gaps.append("fixed-FSM core cannot host programs")
+    else:
+        gaps.append(f"un-unifiable component kind {small.KIND!r}")
+    return gaps
+
+
+# ---------------------------------------------------------------------------
+# Pairwise unification (mutates the base-side component to the union)
+# ---------------------------------------------------------------------------
+
+def _unify_pe(dst, src):
+    dst.width = max(dst.width, src.width)
+    dst.op_names = set(dst.op_names) | set(src.op_names)
+    if src.is_dynamic:
+        dst.scheduling = Scheduling.DYNAMIC
+    if src.is_shared:
+        dst.resourcing = Resourcing.SHARED
+    dst.max_instructions = max(dst.max_instructions, src.max_instructions)
+    if dst.is_shared and dst.max_instructions < 2:
+        dst.max_instructions = 2
+    dst.decomposable_to = min(dst.decomposable_to, src.decomposable_to)
+    dst.delay_fifo_depth = max(dst.delay_fifo_depth, src.delay_fifo_depth)
+    dst.register_file_size = max(
+        dst.register_file_size, src.register_file_size
+    )
+
+
+def _unify_switch(dst, src):
+    dst.width = max(dst.width, src.width)
+    dst.decomposable_to = min(dst.decomposable_to, src.decomposable_to)
+    if src.is_dynamic:
+        dst.scheduling = Scheduling.DYNAMIC
+    dst.routing_table_size = max(
+        dst.routing_table_size, src.routing_table_size
+    )
+
+
+def _unify_memory(dst, src):
+    if dst.kind is not src.kind:
+        raise MergeError(
+            f"cannot unify memory kinds {dst.kind.value!r} and "
+            f"{src.kind.value!r}"
+        )
+    if dst.atomic_update and src.atomic_update \
+            and dst.atomic_op != src.atomic_op:
+        # The per-bank update ALU implements exactly one opcode; a
+        # union would have to fabricate a second ALU family.
+        raise MergeError(
+            f"{dst.name}/{src.name}: conflicting atomic-update ops "
+            f"{dst.atomic_op!r} vs {src.atomic_op!r}"
+        )
+    dst.capacity_bytes = max(dst.capacity_bytes, src.capacity_bytes)
+    dst.width_bytes = max(dst.width_bytes, src.width_bytes)
+    dst.width = max(dst.width, src.width, dst.width_bytes * 8)
+    dst.num_stream_slots = max(dst.num_stream_slots, src.num_stream_slots)
+    dst.banks = max(dst.banks, src.banks)
+    dst.indirect = dst.indirect or src.indirect
+    if src.atomic_update and not dst.atomic_update:
+        dst.atomic_update = True
+        dst.atomic_op = src.atomic_op
+    dst.coalescing = dst.coalescing or src.coalescing
+
+
+def _unify_sync(dst, src):
+    if dst.direction is not src.direction:
+        raise MergeError(
+            f"{dst.name}/{src.name}: cannot unify opposite port "
+            "directions"
+        )
+    dst.width = max(dst.width, src.width)
+    dst.depth = max(dst.depth, src.depth)
+
+
+def _unify_delay(dst, src):
+    dst.width = max(dst.width, src.width)
+    dst.depth = max(dst.depth, src.depth)
+    if src.scheduling is Scheduling.DYNAMIC:
+        dst.scheduling = Scheduling.DYNAMIC
+
+
+def _unify_core(dst, src):
+    dst.width = max(dst.width, src.width)
+    dst.issue_width = max(dst.issue_width, src.issue_width)
+    dst.command_queue_depth = max(
+        dst.command_queue_depth, src.command_queue_depth
+    )
+    dst.config_issue_bits = max(
+        dst.config_issue_bits, src.config_issue_bits
+    )
+    dst.programmable = dst.programmable or src.programmable
+
+
+_UNIFIERS = {
+    ProcessingElement: _unify_pe,
+    Switch: _unify_switch,
+    Memory: _unify_memory,
+    SyncElement: _unify_sync,
+    DelayFifo: _unify_delay,
+    ControlCore: _unify_core,
+}
+
+
+# ---------------------------------------------------------------------------
+# Pairing
+# ---------------------------------------------------------------------------
+
+def _pair_groups(component):
+    """The pairing pool a component belongs to: only components in the
+    same pool may unify (memories by role, ports by direction)."""
+    if isinstance(component, Memory):
+        return ("memory", component.kind.value)
+    if isinstance(component, SyncElement):
+        return ("sync", component.direction.value)
+    return (component.KIND,)
+
+
+def _similarity(dst, src):
+    """Greedy pairing score: prefer partners whose union adds the least
+    capability (keeps the merged fabric's area honest)."""
+    score = 0.0
+    if isinstance(src, ProcessingElement):
+        shared = len(set(dst.op_names) & set(src.op_names))
+        union = len(set(dst.op_names) | set(src.op_names)) or 1
+        score += 4.0 * shared / union
+        if dst.scheduling is src.scheduling:
+            score += 1.0
+        if dst.resourcing is src.resourcing:
+            score += 1.0
+        if dst.decomposable_to == src.decomposable_to:
+            score += 0.5
+    if dst.width == src.width:
+        score += 0.5
+    return score
+
+
+def _pair_components(base_nodes, other_nodes):
+    """Greedy deterministic pairing inside one pool.
+
+    Returns ``(pairs, leftovers)``: ``pairs`` maps other-node -> base-
+    node; ``leftovers`` are other-nodes with no partner (cloned later).
+    Iteration order is lexicographic on names; each other-node takes the
+    unused base-node with the highest similarity, ties broken by name.
+    """
+    available = sorted(base_nodes, key=lambda node: node.name)
+    pairs = {}
+    leftovers = []
+    for src in sorted(other_nodes, key=lambda node: node.name):
+        if not available:
+            leftovers.append(src)
+            continue
+        best = min(
+            available,
+            key=lambda dst: (-_similarity(dst, src),
+                             dst.name != src.name, dst.name),
+        )
+        available.remove(best)
+        pairs[src.name] = best
+    return pairs, leftovers
+
+
+# ---------------------------------------------------------------------------
+# The merge
+# ---------------------------------------------------------------------------
+
+def merge_adgs(base, other, name=None):
+    """Merge ``other`` into a clone of ``base``.
+
+    Returns ``(merged, node_map)`` where ``node_map`` maps every node
+    name of ``other`` to its merged-graph name (``base``'s nodes keep
+    their names and link ids). Raises :class:`MergeError` when the union
+    cannot be expressed without fabricating capacity.
+    """
+    merged = base.clone()
+    merged.name = name or f"{base.name}+{other.name}"
+
+    pools = {}
+    for node in merged.nodes():
+        pools.setdefault(_pair_groups(node), []).append(node)
+    other_pools = {}
+    for node in other.nodes():
+        if type(node) not in _UNIFIERS:
+            raise MergeError(
+                f"cannot merge component kind {node.KIND!r} "
+                f"({node.name!r}): no capability-union rule"
+            )
+        other_pools.setdefault(_pair_groups(node), []).append(node)
+
+    node_map = {}
+    for pool_key in sorted(other_pools):
+        pairs, leftovers = _pair_components(
+            pools.get(pool_key, []), other_pools[pool_key]
+        )
+        for src_name, dst in sorted(pairs.items()):
+            _UNIFIERS[type(dst)](dst, other.node(src_name))
+            node_map[src_name] = dst.name
+        for src in leftovers:
+            clone = src.clone(
+                name=merged.new_name(_CLONE_PREFIX[src.KIND])
+            )
+            merged.add(clone)
+            node_map[src.name] = clone.name
+
+    _map_links(merged, other, node_map)
+    _check_merge(merged, other, node_map)
+    try:
+        validate_adg(merged, strict=False)
+    except AdgValidationError as exc:
+        raise MergeError(f"merged fabric fails validation: {exc}") \
+            from exc
+    return merged, node_map
+
+
+def _map_links(merged, other, node_map):
+    """Re-establish ``other``'s connectivity between mapped endpoints.
+
+    Per endpoint pair the merged graph must offer at least as many links,
+    width-for-width, as ``other`` had (parallel links are distinct wires
+    carrying distinct values). Existing merged links satisfy demand
+    widest-first; the shortfall is added at the original width.
+    """
+    demand = {}
+    for link in other.links():
+        key = (node_map[link.src], node_map[link.dst])
+        demand.setdefault(key, []).append(link.width)
+    for (src, dst), widths in sorted(demand.items()):
+        have = sorted(
+            (link.width for link in merged.links_between(src, dst)),
+            reverse=True,
+        )
+        for width in sorted(widths, reverse=True):
+            satisfied = None
+            for index, existing in enumerate(have):
+                if existing >= width:
+                    satisfied = index
+                    break
+            if satisfied is not None:
+                have.pop(satisfied)
+            else:
+                merged.connect(src, dst, width=width)
+
+
+def _check_merge(merged, other, node_map):
+    """Re-verify capability preservation; any gap is a merge bug and
+    must surface as an honest failure, never a quietly weaker fabric."""
+    problems = []
+    for node in other.nodes():
+        mapped = merged.node(node_map[node.name])
+        for gap in component_subsumes(mapped, node):
+            problems.append(f"{node.name}->{mapped.name}: {gap}")
+    demand = {}
+    for link in other.links():
+        key = (node_map[link.src], node_map[link.dst])
+        demand[key] = demand.get(key, 0) + 1
+    for (src, dst), needed in sorted(demand.items()):
+        if len(merged.links_between(src, dst)) < needed:
+            problems.append(
+                f"link multiplicity {src}->{dst}: "
+                f"{len(merged.links_between(src, dst))} < {needed}"
+            )
+    if problems:
+        raise MergeError(
+            "merge would lose capability: " + "; ".join(problems)
+        )
+
+
+def merge_all(adgs, name=None):
+    """Left-fold :func:`merge_adgs` over ``adgs``.
+
+    Returns ``(merged, node_maps)`` where ``node_maps[i]`` translates
+    the ``i``-th input's node names into the merged graph (the first
+    input's map is the identity on its own names). A single input is
+    cloned, not copied by reference, so callers may mutate the result.
+    """
+    if not adgs:
+        raise MergeError("nothing to merge")
+    merged = adgs[0].clone()
+    if name:
+        merged.name = name
+    node_maps = [{node: node for node in adgs[0].node_names()}]
+    for adg in adgs[1:]:
+        merged, node_map = merge_adgs(merged, adg, name=merged.name)
+        node_maps.append(node_map)
+    return merged, node_maps

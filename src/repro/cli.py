@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro run mm --target softbrain --scale 0.1
     python -m repro compile kernel.c --bind n=16 --array a=256 --array c=256
     python -m repro dse --workloads mm,md,join --iters 10 --out design.json
+    python -m repro compose --workloads conv,pool,classifier --budget 1.5
     python -m repro hwgen design.json --verilog design.v --paths 3
     python -m repro report fig13
     python -m repro verify mm --target softbrain
@@ -188,6 +189,130 @@ def cmd_dse(args):
     if args.out:
         save_adg(result.best_adg, args.out)
         print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_compose(args):
+    from repro.dse import run_compose
+    from repro.harness.report import print_telemetry_summary
+    from repro.utils.telemetry import Telemetry
+    from repro.workloads import kernel as make_kernel
+
+    if args.replay:
+        try:
+            with open(args.replay) as handle:
+                spec = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read --replay spec: {exc}")
+        for name, value in spec.items():
+            if hasattr(args, name):
+                setattr(args, name, value)
+    spec = {
+        "workloads": args.workloads,
+        "scale": args.scale,
+        "seed": args.seed,
+        "budget": args.budget,
+        "budget_fractions": args.budget_fractions,
+        "iters": args.iters,
+        "width": args.width,
+        "sched_iters": args.sched_iters,
+        "specialize_sched_iters": args.specialize_sched_iters,
+        "fidelity": args.fidelity,
+        "surrogate_top": args.surrogate_top,
+        "surrogate_widen": args.surrogate_widen,
+        "recalibrate_every": args.recalibrate_every,
+    }
+    if args.spec_out:
+        # A replayable run spec: the nightly sweep archives this next
+        # to the telemetry so any failure reproduces with
+        # `repro compose --replay <file>`.
+        with open(args.spec_out, "w") as handle:
+            json.dump(spec, handle, indent=2, sort_keys=True)
+    names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+    kernels = [make_kernel(name, args.scale) for name in names]
+    fractions = tuple(
+        float(f) for f in args.budget_fractions.split(",") if f.strip()
+    )
+    try:
+        telemetry = Telemetry(jsonl_path=args.telemetry_out)
+    except OSError as exc:
+        raise SystemExit(f"cannot open --telemetry-out: {exc}")
+    with telemetry:
+        out = run_compose(
+            kernels,
+            rng=DeterministicRng(args.seed),
+            budgets=args.budget or None,
+            budget_fractions=fractions,
+            sched_iters=args.sched_iters,
+            specialize_sched_iters=args.specialize_sched_iters,
+            max_iters=args.iters,
+            width=args.width,
+            workers=args.workers,
+            telemetry=telemetry,
+            fidelity=args.fidelity,
+            surrogate_top=args.surrogate_top,
+            surrogate_widen=args.surrogate_widen,
+            recalibrate_every=args.recalibrate_every,
+            eval_timeout=args.eval_timeout,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+        )
+    total = out["specialized_area_mm2"]
+    print(f"specialized footprint {total:.3f} mm^2 "
+          f"({len(names)} kernels)")
+    for budget in out["budgets"]:
+        outcome = out["results"][budget]
+        if outcome is None:
+            print(f"budget {budget:7.3f} mm^2: infeasible")
+            continue
+        partition = "|".join(
+            "+".join(cluster) for cluster in outcome.best_partition
+        )
+        print(f"budget {budget:7.3f} mm^2: {outcome.best_strategy:11s} "
+              f"obj {outcome.best_objective:.3f}  [{partition}]")
+    scoreboard = "  ".join(
+        f"{name}={score:.3f}"
+        for name, score in sorted(out["strategy_best"].items())
+    )
+    print(f"strategy best: {scoreboard}")
+    if args.out:
+        record = {
+            "spec": spec,
+            "specialized_area_mm2": total,
+            "budgets": [
+                {
+                    "area_budget_mm2": budget,
+                    "feasible": out["results"][budget] is not None,
+                    **({
+                        "best_strategy":
+                            out["results"][budget].best_strategy,
+                        "best_partition": [
+                            list(c) for c in
+                            out["results"][budget].best_partition
+                        ],
+                        "best_objective":
+                            out["results"][budget].best_objective,
+                        "strategy_best": dict(
+                            out["results"][budget].strategy_best
+                        ),
+                    } if out["results"][budget] is not None else {}),
+                }
+                for budget in out["budgets"]
+            ],
+            "strategy_best": out["strategy_best"],
+        }
+        with open(args.out, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    summary = {}
+    for budget in out["budgets"]:
+        outcome = out["results"][budget]
+        if outcome is not None and outcome.telemetry:
+            summary = outcome.telemetry
+    if summary:
+        print_telemetry_summary(summary)
+    if args.telemetry_out:
+        print(f"wrote {args.telemetry_out}")
     return 0
 
 
@@ -400,6 +525,7 @@ def cmd_report(args):
         "fig13": harness.fig13.run,
         "fig14": harness.fig14.run,
         "fig11ft": harness.fig11.run_fault_tolerance,
+        "figcompose": harness.figcompose.run,
         "model": harness.model_validation.run,
     }
     if args.figure not in drivers:
@@ -510,6 +636,77 @@ def build_parser():
     dse_parser.add_argument("--resume", action="store_true",
                             help="continue from --checkpoint if it exists")
 
+    compose_parser = sub.add_parser(
+        "compose",
+        help="merged & multi-accelerator synthesis under a shared "
+             "area budget",
+    )
+    compose_parser.add_argument("--workloads",
+                                default="conv,pool,classifier",
+                                help="comma-separated kernels of the "
+                                     "multi-kernel application")
+    compose_parser.add_argument("--budget", type=float,
+                                action="append", default=None,
+                                metavar="MM2",
+                                help="shared area budget in mm^2 "
+                                     "(repeatable; default: "
+                                     "--budget-fractions of the "
+                                     "specialized footprint)")
+    compose_parser.add_argument("--budget-fractions",
+                                default="0.6,0.8,1.0",
+                                help="budgets as fractions of the "
+                                     "summed specialized area")
+    compose_parser.add_argument("--iters", type=int, default=4,
+                                help="composition generations per "
+                                     "budget")
+    compose_parser.add_argument("--width", type=int, default=None,
+                                help="partition mutations considered "
+                                     "per generation")
+    compose_parser.add_argument("--scale", type=float, default=0.05)
+    compose_parser.add_argument("--sched-iters", type=int, default=40)
+    compose_parser.add_argument("--specialize-sched-iters", type=int,
+                                default=None,
+                                help="scheduler budget for the "
+                                     "per-kernel specialization pass "
+                                     "(default: 5x --sched-iters)")
+    compose_parser.add_argument("--seed", type=int, default=0)
+    compose_parser.add_argument("--workers", type=int, default=1,
+                                help="composition-evaluation processes "
+                                     "(1 = serial; same seed, same "
+                                     "result)")
+    compose_parser.add_argument("--fidelity", default=None,
+                                help="'multi' (surrogate-ranked "
+                                     "compositions) or 'full'")
+    compose_parser.add_argument("--surrogate-top", type=int,
+                                default=None,
+                                help="compositions fully evaluated "
+                                     "per generation")
+    compose_parser.add_argument("--surrogate-widen", type=int,
+                                default=4)
+    compose_parser.add_argument("--recalibrate-every", type=int,
+                                default=16)
+    compose_parser.add_argument("--eval-timeout", type=float,
+                                default=None)
+    compose_parser.add_argument("--telemetry-out", default=None,
+                                help="write a JSONL run log here")
+    compose_parser.add_argument("--out", default=None,
+                                help="write the sweep summary as JSON")
+    compose_parser.add_argument("--spec-out", default=None,
+                                metavar="FILE",
+                                help="write a replayable run spec "
+                                     "(JSON) here")
+    compose_parser.add_argument("--replay", default=None,
+                                metavar="FILE",
+                                help="re-run the spec written by "
+                                     "--spec-out")
+    compose_parser.add_argument("--checkpoint", default=None,
+                                metavar="PATH",
+                                help="per-budget resumable checkpoint "
+                                     "prefix")
+    compose_parser.add_argument("--resume", action="store_true",
+                                help="continue from --checkpoint "
+                                     "files if they exist")
+
     verify_parser = sub.add_parser(
         "verify", help="compile a workload and run every verifier"
     )
@@ -608,8 +805,8 @@ def build_parser():
         "submit", help="submit one job to a running server"
     )
     submit_parser.add_argument("kind",
-                               choices=["compile", "simulate",
-                                        "faults", "dse", "noop"])
+                               choices=["compile", "simulate", "faults",
+                                        "dse", "compose", "noop"])
     submit_parser.add_argument("workload", nargs="?", default="mm",
                                help="workload name (comma-separated "
                                     "for faults/dse)")
@@ -669,6 +866,7 @@ _COMMANDS = {
     "run": cmd_run,
     "compile": cmd_compile,
     "dse": cmd_dse,
+    "compose": cmd_compose,
     "verify": cmd_verify,
     "fuzz": cmd_fuzz,
     "faults": cmd_faults,

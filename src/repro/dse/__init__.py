@@ -12,6 +12,13 @@
   ``multi`` fidelity), repair every kernel's schedule on each finalist
   (Section V-A), estimate — optionally across a process pool with a
   seed-deterministic trajectory — and accept the best improvement.
+* :mod:`repro.dse.compose` — merged & multi-accelerator synthesis:
+  partitions a kernel set into clusters served by capability-union
+  fabrics and explores merged vs. partitioned vs. per-kernel
+  compositions under a shared area budget.
+* :mod:`repro.dse.finalist_sim` — batched cycle-level measurement of
+  finalist designs through :func:`repro.sim.batched.simulate_batch`,
+  grouped by fabric fingerprint.
 """
 
 from repro.dse.mutation import MUTATIONS, AdgMutator, sample_generation
@@ -23,6 +30,16 @@ from repro.dse.explorer import (
     DseResult,
     default_fidelity,
 )
+from repro.dse.compose import (
+    CompositionExplorer,
+    ComposeResult,
+    canonical_partition,
+    mutate_partition,
+    partition_strategy,
+    run_compose,
+    specialize_kernels,
+)
+from repro.dse.finalist_sim import FinalistCase, simulate_finalists
 
 __all__ = [
     "AdgMutator",
@@ -34,4 +51,13 @@ __all__ = [
     "DesignSpaceExplorer",
     "DseResult",
     "DseHistoryEntry",
+    "CompositionExplorer",
+    "ComposeResult",
+    "canonical_partition",
+    "mutate_partition",
+    "partition_strategy",
+    "run_compose",
+    "specialize_kernels",
+    "FinalistCase",
+    "simulate_finalists",
 ]

@@ -1,0 +1,137 @@
+"""Batched cycle-level measurement of DSE finalists.
+
+The DSE loop scores candidates with the analytical performance model —
+it never pays for simulation during search. When a run *does* want
+measured cycles (reporting, model validation, the composition harness),
+its finalists usually share hardware: every kernel of the winning
+design runs on the same ADG, every budget's winning composition reuses
+cluster fabrics. :func:`simulate_finalists` exploits that by grouping
+finalist cases on the fabric's structural fingerprint and driving each
+group through one :func:`repro.sim.batched.simulate_batch` call — the
+columnar engine steps all lanes of a group in lock-step instead of
+spinning up one scalar simulator per kernel.
+
+``assert_parity=True`` re-runs every lane on the scalar ``stepped``
+oracle and insists the batched results match bit-for-bit (cycles and
+final memory state) — the same parity contract the batched engine's own
+test suite pins, applied per group at the point of use.
+"""
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.harness.compile_cache import adg_fingerprint
+from repro.sim import BatchCase, simulate, simulate_batch
+from repro.utils.telemetry import Telemetry
+
+
+@dataclass
+class FinalistCase:
+    """One finalist measurement: a compiled kernel on its fabric."""
+
+    label: str
+    adg: object
+    compiled: object     # CompiledKernel (ok=True)
+    kernel: object       # workload kernel (supplies make_memory)
+
+
+@dataclass
+class FinalistMeasurement:
+    """Per-case outcome plus grouping telemetry."""
+
+    results: dict = field(default_factory=dict)   # label -> SimResult
+    errors: dict = field(default_factory=dict)    # label -> SimulationError
+    groups: int = 0
+    lanes: int = 0
+
+    def cycles(self):
+        """label -> measured cycles for every lane that completed."""
+        return {
+            label: result.cycles
+            for label, result in self.results.items()
+        }
+
+
+def _bind_case(case):
+    """A fresh (memory, bound-compiled) pair for one lane."""
+    memory = case.kernel.make_memory()
+    bound = copy.deepcopy(case.compiled)
+    bound.scope.bind_constants(memory)
+    return memory, bound
+
+
+def simulate_finalists(cases, telemetry=None, assert_parity=False):
+    """Measure every finalist case, batching lanes that share a fabric.
+
+    Cases are grouped by :func:`adg_fingerprint`; each group becomes one
+    ``simulate_batch`` call with per-lane ``BatchCase`` overrides.
+    Returns a :class:`FinalistMeasurement`; lanes that end in a
+    :class:`SimulationError` land in ``errors`` instead of aborting the
+    sweep. With ``assert_parity`` each lane is also re-run on the scalar
+    ``stepped`` engine and any divergence raises ``SimulationError``
+    (a parity break is an engine bug, never a tolerable measurement).
+    """
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    measurement = FinalistMeasurement()
+    groups = {}
+    for case in cases:
+        groups.setdefault(adg_fingerprint(case.adg), []).append(case)
+    measurement.groups = len(groups)
+    measurement.lanes = len(cases)
+    telemetry.incr("dse_finalist_groups", len(groups))
+    telemetry.incr("dse_finalist_lanes", len(cases))
+    for fingerprint in sorted(groups):
+        members = groups[fingerprint]
+        lanes = []
+        for case in members:
+            memory, bound = _bind_case(case)
+            lanes.append(BatchCase(
+                memory=memory, adg=case.adg, compiled=bound,
+            ))
+        with telemetry.timer("finalist_sim"):
+            outcomes = simulate_batch(None, None, lanes,
+                                      telemetry=telemetry)
+        for case, outcome in zip(members, outcomes):
+            if isinstance(outcome, SimulationError):
+                measurement.errors[case.label] = outcome
+                telemetry.incr("dse_finalist_errors")
+                continue
+            measurement.results[case.label] = outcome
+        if assert_parity:
+            _assert_group_parity(members, lanes, outcomes, telemetry)
+    return measurement
+
+
+def _assert_group_parity(members, lanes, outcomes, telemetry):
+    """Re-run each lane on the scalar oracle; batched must match."""
+    for case, lane, outcome in zip(members, lanes, outcomes):
+        memory, bound = _bind_case(case)
+        try:
+            oracle = simulate(case.adg, bound, memory,
+                              engine="stepped")
+        except SimulationError as exc:
+            oracle = exc
+        telemetry.incr("dse_finalist_parity_checks")
+        if isinstance(outcome, SimulationError) \
+                or isinstance(oracle, SimulationError):
+            batched_err = isinstance(outcome, SimulationError)
+            oracle_err = isinstance(oracle, SimulationError)
+            if batched_err != oracle_err:
+                raise SimulationError(
+                    f"finalist {case.label!r}: batched/stepped parity "
+                    f"break (batched error={batched_err}, "
+                    f"stepped error={oracle_err})"
+                )
+            continue
+        if outcome.cycles != oracle.cycles:
+            raise SimulationError(
+                f"finalist {case.label!r}: batched cycles "
+                f"{outcome.cycles} != stepped {oracle.cycles}"
+            )
+        for array in memory:
+            if list(lane.memory[array]) != list(memory[array]):
+                raise SimulationError(
+                    f"finalist {case.label!r}: batched/stepped final "
+                    f"memory diverges in array {array!r}"
+                )

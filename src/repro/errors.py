@@ -17,6 +17,17 @@ class AdgValidationError(AdgError):
     """An ADG violates a composition rule (Section III-B of the paper)."""
 
 
+class MergeError(AdgError):
+    """Two ADGs cannot be merged without fabricating capacity.
+
+    Raised by :func:`repro.adg.merge.merge_adgs` when capability-
+    preserving unification is impossible (conflicting single-valued
+    resources, un-unifiable component kinds, or a union graph that
+    fails composition validation). The merge fails honestly instead of
+    returning a fabric that silently lacks capabilities one of its
+    inputs had."""
+
+
 class IrError(DsagenError):
     """Malformed dataflow IR."""
 

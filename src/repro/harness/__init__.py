@@ -17,6 +17,7 @@ from repro.harness import (
     fig13,
     fig14,
     fig15,
+    figcompose,
     model_validation,
     table1,
 )
@@ -31,5 +32,6 @@ __all__ = [
     "fig13",
     "fig14",
     "fig15",
+    "figcompose",
     "model_validation",
 ]

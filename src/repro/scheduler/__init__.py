@@ -21,6 +21,7 @@ from repro.scheduler.router import RoutingGraph
 from repro.scheduler.objective import ScheduleCost, evaluate_schedule
 from repro.scheduler.stochastic import SpatialScheduler
 from repro.scheduler.repair import repair_schedule
+from repro.scheduler.warmstart import translate_schedule, translate_warm_schedules
 
 __all__ = [
     "Schedule",
@@ -30,4 +31,6 @@ __all__ = [
     "evaluate_schedule",
     "SpatialScheduler",
     "repair_schedule",
+    "translate_schedule",
+    "translate_warm_schedules",
 ]

@@ -22,6 +22,11 @@ Job kinds:
     plain summary dict (counts + degradation curves).
 ``dse``
     a design-space exploration → best ADG (as a dict) + objective.
+``compose``
+    merged & multi-accelerator synthesis (``repro.dse.run_compose``):
+    specialize every kernel of the workload set, then sweep merged vs.
+    partitioned vs. per-kernel compositions across shared area budgets
+    → per-budget winners + a strategy scoreboard (plain dict).
 ``noop``
     sleeps ``options["duration"]`` seconds; never cached. Exists so
     tests and load generators can exercise queueing, priorities, and
@@ -38,9 +43,9 @@ from dataclasses import asdict, dataclass, field
 
 from repro.utils.fingerprint import canonical_dumps, content_digest
 
-JOB_KINDS = ("compile", "simulate", "faults", "dse", "noop")
+JOB_KINDS = ("compile", "simulate", "faults", "dse", "compose", "noop")
 #: Kinds whose artifacts are pure in the spec and therefore cacheable.
-CACHEABLE_KINDS = ("compile", "simulate", "faults", "dse")
+CACHEABLE_KINDS = ("compile", "simulate", "faults", "dse", "compose")
 JOB_KEY_VERSION = 1
 
 
@@ -287,6 +292,69 @@ def _run_dse(spec, compiled_payload):
     return artifact, summary, "ok", {}
 
 
+def _run_compose(spec, compiled_payload):
+    from repro.dse import partition_strategy, run_compose
+    from repro.utils.rng import DeterministicRng
+    from repro.workloads import kernel as make_kernel
+
+    names = [n.strip() for n in spec.workload.split(",") if n.strip()]
+    kernels = [make_kernel(name, spec.scale) for name in names]
+    options = spec.options
+    # Like dse: every trajectory knob rides in the spec (and therefore
+    # the job key), so cached compositions never alias across settings.
+    out = run_compose(
+        kernels,
+        rng=DeterministicRng(spec.seed),
+        budgets=options.get("budgets"),
+        budget_fractions=tuple(options.get(
+            "budget_fractions", (0.6, 0.8, 1.0)
+        )),
+        sched_iters=spec.sched_iters,
+        specialize_sched_iters=(
+            int(options["specialize_sched_iters"])
+            if options.get("specialize_sched_iters") is not None
+            else None
+        ),
+        max_iters=int(options.get("iters", 3)),
+        fidelity=options.get("fidelity", "multi"),
+        surrogate_top=(
+            int(options["surrogate_top"])
+            if options.get("surrogate_top") is not None else None
+        ),
+        surrogate_widen=int(options.get("surrogate_widen", 4)),
+        recalibrate_every=int(options.get("recalibrate_every", 16)),
+    )
+    budgets = []
+    for budget in out["budgets"]:
+        outcome = out["results"][budget]
+        if outcome is None:
+            budgets.append({
+                "area_budget_mm2": budget, "feasible": False,
+            })
+            continue
+        budgets.append({
+            "area_budget_mm2": budget,
+            "feasible": True,
+            "best_partition": [list(c) for c in outcome.best_partition],
+            "best_strategy": partition_strategy(outcome.best_partition),
+            "best_objective": outcome.best_objective,
+            "strategy_best": dict(outcome.strategy_best),
+            "candidates": len(outcome.history),
+        })
+    artifact = {
+        "workloads": names,
+        "specialized_area_mm2": out["specialized_area_mm2"],
+        "budgets": budgets,
+        "strategy_best": dict(out["strategy_best"]),
+    }
+    summary = {
+        "ok": True,
+        "specialized_area_mm2": out["specialized_area_mm2"],
+        "strategy_best": dict(out["strategy_best"]),
+    }
+    return artifact, summary, "ok", {}
+
+
 def _run_noop(spec, compiled_payload):
     duration = float(spec.options.get("duration", 0.0))
     if duration > 0:
@@ -300,6 +368,7 @@ _RUNNERS = {
     "simulate": _run_simulate,
     "faults": _run_faults,
     "dse": _run_dse,
+    "compose": _run_compose,
     "noop": _run_noop,
 }
 

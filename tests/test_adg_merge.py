@@ -1,0 +1,180 @@
+"""Tests for the capability-preserving fabric union (adg/merge.py)."""
+
+import pytest
+
+from repro.adg import (
+    Adg,
+    ControlCore,
+    Direction,
+    Memory,
+    MemoryKind,
+    ProcessingElement,
+    Scheduling,
+    Switch,
+    SyncElement,
+    component_subsumes,
+    merge_adgs,
+    merge_all,
+    topologies,
+    validate_adg,
+)
+from repro.errors import MergeError
+from repro.harness.compile_cache import adg_fingerprint
+
+
+def small_mesh(name, ops, rows=2, cols=2, **kwargs):
+    adg = topologies.build_mesh(rows, cols, name=name, ops=ops, **kwargs)
+    return adg
+
+
+def int_fabric():
+    return small_mesh("inty", topologies.INT_OPS)
+
+
+def fp_fabric():
+    return small_mesh(
+        "floaty", topologies.FP_OPS, pe_scheduling=Scheduling.DYNAMIC
+    )
+
+
+class TestCapabilityPreservation:
+    def test_every_other_node_is_subsumed(self):
+        base, other = int_fabric(), fp_fabric()
+        merged, node_map = merge_adgs(base, other)
+        for node in other.nodes():
+            mapped = merged.node(node_map[node.name])
+            assert component_subsumes(mapped, node) == [], node.name
+
+    def test_base_nodes_and_links_survive_by_name(self):
+        base, other = int_fabric(), fp_fabric()
+        merged, _ = merge_adgs(base, other)
+        for name in base.node_names():
+            assert name in merged
+        for link in base.links():
+            widths = [
+                cand.width
+                for cand in merged.links_between(link.src, link.dst)
+            ]
+            assert any(width >= link.width for width in widths)
+
+    def test_union_parameters(self):
+        base, other = int_fabric(), fp_fabric()
+        merged, node_map = merge_adgs(base, other)
+        # A dynamic-fp PE unified onto a static-int PE keeps both the
+        # op-set union and the dynamic execution model.
+        some_pe = next(
+            node for node in other.nodes() if node.KIND == "pe"
+        )
+        mapped = merged.node(node_map[some_pe.name])
+        assert set(topologies.FP_OPS) <= set(mapped.op_names)
+        assert mapped.is_dynamic
+
+    def test_link_multiplicity_preserved(self):
+        base = Adg("single")
+        base.add(Switch(name="a"))
+        base.add(Switch(name="b"))
+        base.connect("a", "b", width=64)
+        other = Adg("double")
+        other.add(Switch(name="a"))
+        other.add(Switch(name="b"))
+        other.connect("a", "b", width=64)
+        other.connect("a", "b", width=32)
+        merged, node_map = merge_adgs(base, other)
+        dst_a, dst_b = node_map["a"], node_map["b"]
+        assert len(merged.links_between(dst_a, dst_b)) >= 2
+
+    def test_merged_fabric_validates(self):
+        merged, _ = merge_adgs(
+            topologies.softbrain(rows=2, cols=2),
+            topologies.triggered(rows=2, cols=2),
+        )
+        validate_adg(merged, strict=False)
+
+
+class TestDeterminism:
+    def test_self_merge_is_idempotent(self):
+        adg = int_fabric()
+        merged, node_map = merge_adgs(adg, adg)
+        assert adg_fingerprint(merged) == adg_fingerprint(adg)
+        assert node_map == {name: name for name in adg.node_names()}
+
+    def test_fingerprint_stability_across_calls(self):
+        first, _ = merge_adgs(int_fabric(), fp_fabric())
+        second, _ = merge_adgs(int_fabric(), fp_fabric())
+        assert adg_fingerprint(first) == adg_fingerprint(second)
+
+    def test_merge_all_identity_first_map(self):
+        fabrics = [int_fabric(), fp_fabric(),
+                   small_mesh("third", {"add", "acc", "copy"})]
+        merged, node_maps = merge_all(fabrics, name="trio")
+        assert merged.name == "trio"
+        assert len(node_maps) == len(fabrics)
+        assert node_maps[0] == {
+            name: name for name in fabrics[0].node_names()
+        }
+        for fabric, node_map in zip(fabrics, node_maps):
+            for node in fabric.nodes():
+                mapped = merged.node(node_map[node.name])
+                assert component_subsumes(mapped, node) == []
+
+    def test_merge_all_empty_rejected(self):
+        with pytest.raises(MergeError):
+            merge_all([])
+
+
+def port_fabric(atomic_op):
+    """A minimal valid fabric with an atomic-update scratchpad."""
+    adg = Adg(f"atomic-{atomic_op}")
+    adg.add(Memory(
+        name="spad0", kind=MemoryKind.SPAD, width=512, width_bytes=64,
+        indirect=True, atomic_update=True, atomic_op=atomic_op,
+    ))
+    adg.add(SyncElement(name="in0", direction=Direction.INPUT))
+    adg.add(SyncElement(name="out0", direction=Direction.OUTPUT))
+    adg.add(Switch(name="sw0"))
+    adg.add(ProcessingElement(name="pe0", op_names={"add"}))
+    adg.add(ControlCore(name="core0"))
+    adg.connect("spad0", "in0")
+    adg.connect("in0", "sw0")
+    adg.connect("sw0", "pe0")
+    adg.connect("pe0", "sw0")
+    adg.connect("sw0", "out0")
+    adg.connect("out0", "spad0")
+    adg.connect("core0", "sw0")
+    return adg
+
+
+class TestHonestFailure:
+    def test_conflicting_atomic_ops_raise(self):
+        with pytest.raises(MergeError, match="atomic"):
+            merge_adgs(port_fabric("add"), port_fabric("max"))
+
+    def test_matching_atomic_ops_merge(self):
+        merged, _ = merge_adgs(port_fabric("add"), port_fabric("add"))
+        assert merged.node("spad0").atomic_update
+
+    def test_unknown_component_kind_raises(self):
+        class Exotic(ProcessingElement):
+            KIND = "exotic"
+
+        other = port_fabric("add")
+        other.add(Exotic(name="weird0", op_names={"add"}))
+        other.connect("sw0", "weird0")
+        with pytest.raises(MergeError, match="exotic"):
+            merge_adgs(port_fabric("add"), other)
+
+    def test_subsumption_reports_gaps(self):
+        big = ProcessingElement(name="big", op_names={"add", "mul"})
+        small = ProcessingElement(
+            name="small", op_names={"add", "fdiv"},
+            scheduling=Scheduling.DYNAMIC,
+        )
+        gaps = component_subsumes(big, small)
+        assert any("fdiv" in gap for gap in gaps)
+        assert any("dynamic" in gap for gap in gaps)
+        assert component_subsumes(big, big) == []
+
+    def test_cross_kind_subsumption_is_a_gap(self):
+        pe = ProcessingElement(name="pe", op_names={"add"})
+        sw = Switch(name="sw")
+        assert component_subsumes(pe, sw)
