@@ -14,6 +14,8 @@ Usage (after ``pip install -e .``)::
     python -m repro faults --cases 25 --seed 2026 --out fault-repros
     python -m repro serve --store /var/tmp/repro-store --port 8753
     python -m repro submit compile mm --server 127.0.0.1:8753
+    python -m repro chaos --requests 200 --seed 2026 --fault-rate 0.25
+    python -m repro store fsck --store /var/tmp/repro-store --gc
 
 Every subcommand is a thin shell over the library; scripts wanting more
 control should import :mod:`repro` directly.
@@ -22,6 +24,7 @@ control should import :mod:`repro` directly.
 import argparse
 import copy
 import json
+import os
 import sys
 
 from repro.adg import load_adg, save_adg, topologies, validate_adg
@@ -437,11 +440,117 @@ def cmd_serve(args):
                 store, host=args.host, port=args.port,
                 workers=args.workers, eval_timeout=args.eval_timeout,
                 tenant_quota=args.tenant_quota, telemetry=telemetry,
+                journal=not args.no_journal,
+                journal_fsync=not args.no_journal_fsync,
+                max_queue_depth=args.max_queue_depth,
                 ready=ready,
             ))
         except KeyboardInterrupt:
             pass
     return 0
+
+
+def cmd_chaos(args):
+    import tempfile
+
+    from repro.server.chaos import (
+        ChaosSpec,
+        run_chaos,
+        run_chaos_with_baseline,
+    )
+    from repro.utils.telemetry import Telemetry
+
+    if args.replay:
+        with open(args.replay) as handle:
+            spec = ChaosSpec.from_dict(json.load(handle))
+        print(f"replaying chaos spec from {args.replay} "
+              f"(seed={spec.seed})")
+    else:
+        spec = ChaosSpec(
+            seed=args.seed, requests=args.requests,
+            fault_rate=args.fault_rate, server_kills=args.kills,
+            workloads=args.workloads, scale=args.scale,
+            sched_iters=args.sched_iters,
+            unique_seeds=args.unique_seeds,
+        )
+    if args.spec_out:
+        with open(args.spec_out, "w") as handle:
+            json.dump(spec.to_dict(), handle, indent=2)
+        print(f"wrote {args.spec_out}")
+    workdir = args.store or tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        telemetry = Telemetry(jsonl_path=args.telemetry_out)
+    except OSError as exc:
+        raise SystemExit(f"cannot open --telemetry-out: {exc}")
+
+    def progress(done, total):
+        if done % 25 == 0 or done == total:
+            print(f"  chaos: {done}/{total} requests", flush=True)
+
+    with telemetry:
+        if args.no_baseline:
+            report = run_chaos(
+                spec, os.path.join(workdir, "chaos"),
+                telemetry=telemetry, progress=progress,
+            )
+            out = dict(report)
+        else:
+            result = run_chaos_with_baseline(
+                spec, workdir, telemetry=telemetry, progress=progress,
+            )
+            out = dict(result["chaos"])
+            out["digest_match"] = result["digest_match"]
+            out["baseline_ok"] = result["baseline"]["ok"]
+            out["ok"] = result["ok"]
+    out.pop("digests", None)   # bulky; the stores hold the truth
+    print(json.dumps(out, indent=2, default=str))
+    if args.telemetry_out:
+        print(f"wrote {args.telemetry_out}")
+    return 0 if out["ok"] else 1
+
+
+def cmd_store(args):
+    from repro.server.journal import (
+        JobJournal,
+        read_journal,
+        recover_state,
+        verify_journal,
+    )
+    from repro.server.server import JOURNAL_BASENAME
+    from repro.server.store import ArtifactStore
+
+    if not os.path.isdir(args.store):
+        raise SystemExit(f"no store directory at {args.store!r}")
+    store = ArtifactStore(args.store)
+    dropped = store.fsck()
+    stats = store.stats()
+    store.close()
+    journal_path = os.path.join(args.store, JOURNAL_BASENAME)
+    journal_summary = None
+    compacted = None
+    if os.path.exists(journal_path):
+        journal_summary = verify_journal(journal_path)
+        if args.gc:
+            records, _ = read_journal(journal_path, repair=True)
+            keep = recover_state(records)["pending"]
+            with JobJournal(journal_path) as journal:
+                journal.compact(keep)
+            compacted = {"kept_records": len(keep),
+                         "dropped_records": len(records) - len(keep)}
+    # A torn journal tail is a normal crash artifact (repaired on the
+    # next server start); duplicates and damaged objects are not.
+    ok = not dropped and not (
+        journal_summary
+        and journal_summary["duplicate_computed_finishes"]
+    )
+    print(json.dumps({
+        "ok": ok,
+        "store": stats,
+        "dropped_objects": dropped,
+        "journal": journal_summary,
+        "journal_compacted": compacted,
+    }, indent=2))
+    return 0 if ok else 1
 
 
 def cmd_submit(args):
@@ -798,8 +907,68 @@ def build_parser():
     serve_parser.add_argument("--max-bytes", type=int, default=None,
                               help="store payload-byte cap "
                                    "(LRU eviction)")
+    serve_parser.add_argument("--max-queue-depth", type=int,
+                              default=None,
+                              help="bound the pending queue; beyond "
+                                   "it submits are shed with an "
+                                   "'overloaded' envelope")
+    serve_parser.add_argument("--no-journal", action="store_true",
+                              help="disable the durable job journal "
+                                   "(acked jobs die with the process)")
+    serve_parser.add_argument("--no-journal-fsync",
+                              action="store_true",
+                              help="journal without per-record fsync "
+                                   "(faster, weaker durability)")
     serve_parser.add_argument("--telemetry-out", default=None,
                               help="write a JSONL job log here")
+
+    chaos_parser = sub.add_parser(
+        "chaos", help="run a deterministic chaos campaign against a "
+                      "real server subprocess"
+    )
+    chaos_parser.add_argument("--seed", type=int, default=2026)
+    chaos_parser.add_argument("--requests", type=int, default=200)
+    chaos_parser.add_argument("--fault-rate", type=float, default=0.25,
+                              help="per-op transport-fault probability")
+    chaos_parser.add_argument("--kills", type=int, default=0,
+                              help="deterministic kill -9 + restart "
+                                   "count mid-campaign")
+    chaos_parser.add_argument("--workloads", default="mm,conv",
+                              help="comma-separated kernel pool")
+    chaos_parser.add_argument("--scale", type=float, default=0.05)
+    chaos_parser.add_argument("--sched-iters", type=int, default=60)
+    chaos_parser.add_argument("--unique-seeds", type=int, default=2,
+                              help="distinct job seeds per workload")
+    chaos_parser.add_argument("--store", default=None, metavar="DIR",
+                              help="campaign workdir (baseline/ and "
+                                   "chaos/ stores inside; default: "
+                                   "a fresh temp dir)")
+    chaos_parser.add_argument("--no-baseline", action="store_true",
+                              help="skip the fault-free digest-parity "
+                                   "run")
+    chaos_parser.add_argument("--replay", default=None, metavar="FILE",
+                              help="re-run a serialized ChaosSpec "
+                                   "instead of building one from flags")
+    chaos_parser.add_argument("--spec-out", default=None,
+                              metavar="FILE",
+                              help="write the replayable ChaosSpec "
+                                   "JSON here")
+    chaos_parser.add_argument("--telemetry-out", default=None,
+                              help="write per-request chaos telemetry "
+                                   "(JSONL) here")
+
+    store_parser = sub.add_parser(
+        "store", help="operate on an artifact store on disk"
+    )
+    store_parser.add_argument("action", choices=["fsck"],
+                              help="fsck: deep-verify every object + "
+                                   "audit the job journal")
+    store_parser.add_argument("--store", default="repro-store",
+                              help="store directory "
+                                   "(default: repro-store)")
+    store_parser.add_argument("--gc", action="store_true",
+                              help="also compact the journal down to "
+                                   "still-pending jobs")
 
     submit_parser = sub.add_parser(
         "submit", help="submit one job to a running server"
@@ -872,6 +1041,8 @@ _COMMANDS = {
     "faults": cmd_faults,
     "serve": cmd_serve,
     "submit": cmd_submit,
+    "chaos": cmd_chaos,
+    "store": cmd_store,
     "hwgen": cmd_hwgen,
     "report": cmd_report,
 }

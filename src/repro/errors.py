@@ -82,6 +82,48 @@ class FaultError(DsagenError):
     """A hardware fault specification could not be drawn or applied."""
 
 
+class ServerError(DsagenError):
+    """The compile service (client or server side) failed."""
+
+
+class TransportError(ServerError, ConnectionError):
+    """The connection to the compile service was lost mid-operation.
+
+    Subclasses :class:`ConnectionError` so callers that predate the
+    typed hierarchy (``except (OSError, ConnectionError)``) keep
+    working.
+    """
+
+
+class ServerTimeout(ServerError):
+    """A client operation exceeded its deadline or socket timeout.
+
+    Raised instead of a raw ``socket.timeout`` so callers can
+    distinguish "the service is slow" from programming errors, and so
+    per-op deadlines surface as one typed condition.
+    """
+
+
+class CircuitOpenError(ServerError):
+    """The client's circuit breaker is open: recent consecutive
+    transport failures mean the service is presumed down, and calls
+    fail fast instead of burning a connect timeout each. The breaker
+    half-opens after its cooldown and recovers on the next success."""
+
+
+class ProtocolError(ServerError, ValueError):
+    """A malformed wire payload, completion record, or server address.
+
+    Subclasses :class:`ValueError` for backward compatibility with
+    callers that caught the previous untyped exceptions.
+    """
+
+
+class JournalError(ServerError):
+    """The durable job journal is unusable (unwritable path, corrupt
+    beyond torn-tail repair)."""
+
+
 class VerificationError(DsagenError):
     """Cross-layer verification found a real inconsistency.
 

@@ -12,17 +12,42 @@ a job type on one substrate:
   LRU/size eviction, hit/miss/eviction telemetry).
 * :mod:`repro.server.jobs` — :class:`JobSpec` (JSON-serializable, pure
   in its inputs), :func:`job_key`, and the :func:`execute_job` worker.
+* :mod:`repro.server.journal` — :class:`JobJournal`, the fsync'd
+  append-only WAL that makes accepted jobs survive ``kill -9``, plus
+  :func:`verify_journal`, the zero-duplicate-executions auditor.
 * :mod:`repro.server.server` — :class:`CompileServer`, the asyncio
-  front-end (priority queue, per-tenant quotas, coalescing, sharded
-  resilient worker pool) plus :class:`BackgroundServer` for embedding.
+  front-end (priority queue, per-tenant quotas, coalescing, nonce
+  idempotency, load shedding, journal recovery, sharded resilient
+  worker pool) plus :class:`BackgroundServer` for embedding.
 * :mod:`repro.server.client` — :class:`ServerClient`, the synchronous
-  JSON-lines client.
+  JSON-lines client (idempotent retries, capped backoff with seeded
+  jitter, per-op deadlines, circuit breaker).
+* :mod:`repro.server.chaos` — deterministic fault injection for the
+  whole stack: :class:`ChaosTransport`, the asyncio chaos proxy, and
+  the ``repro chaos`` campaign driver.
 
-CLI: ``repro serve`` runs a server; ``repro submit`` sends one job.
+CLI: ``repro serve`` runs a server; ``repro submit`` sends one job;
+``repro chaos`` runs a replayable failure-injection campaign;
+``repro store fsck`` audits a store + journal on disk.
 """
 
-from repro.server.client import ServerClient, decode_artifact, \
-    parse_address
+from repro.server.chaos import (
+    CHAOS_KINDS,
+    ChaosProxy,
+    ChaosSpec,
+    ChaosTransport,
+    chaos_decision,
+    run_chaos,
+    run_chaos_with_baseline,
+)
+from repro.server.client import (
+    CircuitBreaker,
+    RetryPolicy,
+    ServerClient,
+    SocketTransport,
+    decode_artifact,
+    parse_address,
+)
 from repro.server.jobs import (
     CACHEABLE_KINDS,
     JOB_KINDS,
@@ -31,6 +56,12 @@ from repro.server.jobs import (
     execute_job,
     job_key,
 )
+from repro.server.journal import (
+    JobJournal,
+    read_journal,
+    recover_state,
+    verify_journal,
+)
 from repro.server.server import BackgroundServer, CompileServer, serve
 from repro.server.store import ArtifactStore, StoreError
 
@@ -38,15 +69,29 @@ __all__ = [
     "ArtifactStore",
     "BackgroundServer",
     "CACHEABLE_KINDS",
+    "CHAOS_KINDS",
+    "ChaosProxy",
+    "ChaosSpec",
+    "ChaosTransport",
+    "CircuitBreaker",
     "CompileServer",
     "JOB_KINDS",
+    "JobJournal",
     "JobSpec",
+    "RetryPolicy",
     "ServerClient",
+    "SocketTransport",
     "StoreError",
     "artifact_digest",
+    "chaos_decision",
     "decode_artifact",
     "execute_job",
     "job_key",
     "parse_address",
+    "read_journal",
+    "recover_state",
+    "run_chaos",
+    "run_chaos_with_baseline",
     "serve",
+    "verify_journal",
 ]

@@ -1,10 +1,36 @@
 """Synchronous JSON-lines client for the compile service.
 
-One :class:`ServerClient` holds one TCP connection and speaks the
-request/response protocol documented in :mod:`repro.server.server`.
-The client is deliberately dependency-free (plain sockets, no asyncio)
-so harnesses, benchmarks, and shell one-liners can use it without an
-event loop.
+One :class:`ServerClient` speaks the request/response protocol
+documented in :mod:`repro.server.server`, and is built for an
+unreliable network:
+
+* **Idempotent retries** — every ``submit``/``run`` carries a
+  client-generated *nonce*, minted once per logical operation and
+  reused verbatim across transport retries. The server maps nonces to
+  jobs, so a request that died between server-side processing and
+  client-side read attaches to the original job on retry instead of
+  re-enqueueing (and double-counting tenant quota).
+* **Capped exponential backoff** — retry delays follow
+  ``min(cap, base * 2**attempt) * (0.5 + 0.5 * u)`` with ``u`` drawn
+  from a seedable RNG, so chaos runs replay the exact same schedule.
+* **Per-op deadlines** — ``request(..., deadline=seconds)`` bounds the
+  whole operation (all retries included) and raises the typed
+  :class:`~repro.errors.ServerTimeout` instead of a raw
+  ``socket.timeout``.
+* **Circuit breaker** — after ``threshold`` consecutive transport
+  failures the breaker opens and calls fail fast with
+  :class:`~repro.errors.CircuitOpenError` for ``reset_after`` seconds,
+  then half-opens to probe; a success closes it again.
+* **Overload backpressure** — ``run()`` honours the server's
+  ``overloaded`` envelope: it sleeps for the envelope's
+  ``retry_after`` hint and resubmits with a *fresh* nonce (the shed
+  job is gone; attaching to it would wedge).
+
+The client stays dependency-free (plain sockets, no asyncio) so
+harnesses, benchmarks, and shell one-liners can use it without an
+event loop. The transport is pluggable: :class:`SocketTransport` is
+the real TCP path, and the chaos harness (:mod:`repro.server.chaos`)
+swaps in a fault-injecting wrapper with the same surface.
 
 ```
 client = ServerClient("127.0.0.1", 8753)
@@ -14,105 +40,186 @@ compiled = decode_artifact(result)
 """
 
 import base64
+import itertools
 import json
 import pickle
+import random
 import socket
+import time
 
+from repro.errors import (
+    CircuitOpenError,
+    ProtocolError,
+    ServerTimeout,
+    TransportError,
+)
 from repro.server.jobs import JobSpec
 
-__all__ = ["ServerClient", "decode_artifact", "parse_address"]
+__all__ = [
+    "CircuitBreaker",
+    "RetryPolicy",
+    "ServerClient",
+    "SocketTransport",
+    "decode_artifact",
+    "parse_address",
+]
+
+DEFAULT_PORT = 8753
 
 
-def parse_address(text, default_port=8753):
-    """``"host:port"`` / ``"host"`` / ``":port"`` → ``(host, port)``."""
-    host, _, port = str(text).rpartition(":")
+def parse_address(text, default_port=DEFAULT_PORT):
+    """``"host:port"`` / ``"host"`` / ``":port"`` → ``(host, port)``.
+
+    Raises :class:`~repro.errors.ProtocolError` (a ``ValueError``
+    subclass) when the port is non-numeric or out of range.
+    """
+    host, _, port = str(text).strip().rpartition(":")
     if not host:
+        # No colon: rpartition left everything in the port slot.
         host, port = (port, "") if not port.isdigit() else ("", port)
-    return (host or "127.0.0.1",
-            int(port) if port else default_port)
+    if port:
+        if not port.isdigit():
+            raise ProtocolError(
+                f"invalid server address {text!r}: port {port!r} is "
+                "not an integer"
+            )
+        number = int(port)
+        if not 0 < number < 65536:
+            raise ProtocolError(
+                f"invalid server address {text!r}: port {number} is "
+                "outside 1..65535"
+            )
+    else:
+        number = default_port
+    return (host or "127.0.0.1", number)
 
 
 def decode_artifact(record):
-    """Unpickle the artifact carried by a completion record."""
+    """Unpickle the artifact carried by a completion record.
+
+    Raises :class:`~repro.errors.ProtocolError` when the record has no
+    artifact (e.g. a failure envelope) or the payload is undecodable.
+    """
+    if not isinstance(record, dict):
+        raise ProtocolError(
+            f"expected a completion record dict, got "
+            f"{type(record).__name__}"
+        )
     blob = record.get("artifact_b64")
     if blob is None:
-        raise ValueError(
-            f"record carries no artifact: {record.get('error') or record}"
+        raise ProtocolError(
+            "record carries no artifact: "
+            f"{record.get('error') or record.get('state') or record}"
         )
-    return pickle.loads(base64.b64decode(blob))
+    try:
+        return pickle.loads(base64.b64decode(blob))
+    except (ValueError, TypeError, EOFError,
+            pickle.UnpicklingError) as exc:
+        raise ProtocolError(
+            f"undecodable artifact payload: {exc}"
+        ) from exc
 
 
-class ServerClient:
-    """One connection to a running :class:`CompileServer`."""
+class RetryPolicy:
+    """Capped exponential backoff with deterministic seedable jitter.
 
-    def __init__(self, host="127.0.0.1", port=8753, timeout=600.0):
+    ``delay(attempt) = min(cap, base * 2**attempt) * (0.5 + 0.5*u)``
+    with ``u`` uniform in [0, 1) from a private RNG. Seed it
+    (``jitter_seed=...``) to make a retry schedule exactly replayable.
+    """
+
+    def __init__(self, retries=4, backoff_base=0.05, backoff_cap=2.0,
+                 jitter_seed=None):
+        self.retries = max(0, int(retries))
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._rng = random.Random(jitter_seed)
+
+    def delay(self, attempt):
+        capped = min(self.backoff_cap,
+                     self.backoff_base * (2 ** max(0, attempt)))
+        return capped * (0.5 + 0.5 * self._rng.random())
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker over consecutive transport
+    failures. The ``clock`` is injectable for deterministic tests."""
+
+    def __init__(self, threshold=5, reset_after=5.0,
+                 clock=time.monotonic):
+        self.threshold = max(1, int(threshold))
+        self.reset_after = float(reset_after)
+        self._clock = clock
+        self.failures = 0
+        self.opened_at = None
+        self.opens = 0
+
+    @property
+    def state(self):
+        if self.opened_at is None:
+            return "closed"
+        if self._clock() - self.opened_at >= self.reset_after:
+            return "half-open"
+        return "open"
+
+    def check(self):
+        """Raise :class:`CircuitOpenError` while the breaker is open;
+        a half-open breaker lets one probe through."""
+        if self.state == "open":
+            remaining = self.reset_after - (self._clock()
+                                            - self.opened_at)
+            raise CircuitOpenError(
+                f"circuit open after {self.failures} consecutive "
+                f"transport failures; retries resume in "
+                f"{max(0.0, remaining):.2f}s"
+            )
+
+    def record_success(self):
+        self.failures = 0
+        self.opened_at = None
+
+    def record_failure(self):
+        was_half_open = self.state == "half-open"
+        self.failures += 1
+        if was_half_open or (self.opened_at is None
+                             and self.failures >= self.threshold):
+            self.opened_at = self._clock()
+            self.opens += 1
+
+
+class SocketTransport:
+    """The real TCP transport: one lazily-(re)connected socket plus a
+    buffered line reader. Chaos wrappers mimic this surface."""
+
+    def __init__(self, host, port, timeout=600.0):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connects = 0
         self._sock = None
         self._reader = None
 
-    def _connect(self):
+    @property
+    def connected(self):
+        return self._sock is not None
+
+    def connect(self):
         if self._sock is None:
             self._sock = socket.create_connection(
                 (self.host, self.port), timeout=self.timeout
             )
             self._reader = self._sock.makefile("rb")
+            self.connects += 1
 
-    def request(self, payload):
-        """One request/response round-trip (reconnects once on a
-        dropped connection)."""
-        for attempt in (0, 1):
-            self._connect()
-            try:
-                self._sock.sendall(
-                    json.dumps(payload).encode() + b"\n"
-                )
-                line = self._reader.readline()
-                if line:
-                    return json.loads(line)
-                raise ConnectionError("server closed the connection")
-            except (OSError, ConnectionError):
-                self.close()
-                if attempt:
-                    raise
-        raise ConnectionError("unreachable")
+    def settimeout(self, timeout):
+        if self._sock is not None:
+            self._sock.settimeout(timeout)
 
-    # -- operations ----------------------------------------------------
-    @staticmethod
-    def _job_dict(spec):
-        return spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+    def sendall(self, data):
+        self._sock.sendall(data)
 
-    def submit(self, spec):
-        """Enqueue without waiting; returns the submit response
-        (``job_id`` on success, ``error`` on rejection)."""
-        return self.request({"op": "submit",
-                             "job": self._job_dict(spec)})
-
-    def wait(self, job_id):
-        """Block until ``job_id`` completes; returns its record."""
-        return self.request({"op": "wait", "job_id": job_id})
-
-    def run(self, spec):
-        """Submit + wait in one round-trip."""
-        return self.request({"op": "run", "job": self._job_dict(spec)})
-
-    def result(self, job_id):
-        """Non-blocking completion query."""
-        return self.request({"op": "result", "job_id": job_id})
-
-    def stats(self):
-        return self.request({"op": "stats"})["stats"]
-
-    def ping(self):
-        return self.request({"op": "ping"}).get("ok", False)
-
-    def shutdown(self):
-        """Ask the server to stop (returns its acknowledgement)."""
-        try:
-            return self.request({"op": "shutdown"})
-        finally:
-            self.close()
+    def readline(self):
+        return self._reader.readline()
 
     def close(self):
         if self._reader is not None:
@@ -127,6 +234,195 @@ class ServerClient:
             except OSError:
                 pass
             self._sock = None
+
+
+class ServerClient:
+    """One logical connection to a running :class:`CompileServer`.
+
+    Not thread-safe — use one client per thread.
+    """
+
+    def __init__(self, host="127.0.0.1", port=DEFAULT_PORT,
+                 timeout=600.0, retry=None, breaker=None,
+                 deadline=None, nonce_seed=None, transport=None):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        if breaker is False:
+            self.breaker = None
+        else:
+            self.breaker = breaker if breaker is not None \
+                else CircuitBreaker()
+        self.deadline = deadline
+        self.transport = transport if transport is not None \
+            else SocketTransport(host, port, timeout=timeout)
+        self.transport_errors = 0
+        self.backpressure_waits = 0
+        self._nonce_rng = random.Random(nonce_seed)
+        self._nonce_seq = itertools.count(1)
+
+    # -- nonces --------------------------------------------------------
+    def new_nonce(self):
+        """A fresh idempotency token for one logical submit/run."""
+        return (f"n-{self._nonce_rng.getrandbits(64):016x}"
+                f"-{next(self._nonce_seq)}")
+
+    # -- core request loop ---------------------------------------------
+    def request(self, payload, deadline=None):
+        """One logical request: retries transport failures with the
+        *same* payload (same nonce) under the retry policy, breaker,
+        and deadline. Raises :class:`TransportError`,
+        :class:`ServerTimeout`, :class:`CircuitOpenError`, or
+        :class:`ProtocolError`."""
+        deadline = self.deadline if deadline is None else deadline
+        start = time.monotonic()
+        payload = dict(payload)
+        if payload.get("op") in ("submit", "run") \
+                and not payload.get("nonce"):
+            payload["nonce"] = self.new_nonce()
+        data = json.dumps(payload).encode() + b"\n"
+        attempts = self.retry.retries + 1
+        last_error = None
+        for attempt in range(attempts):
+            if self.breaker is not None:
+                self.breaker.check()
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - (time.monotonic() - start)
+                if remaining <= 0:
+                    raise ServerTimeout(
+                        f"deadline of {deadline}s exhausted after "
+                        f"{attempt} attempt(s)"
+                    )
+            try:
+                self.transport.connect()
+                self.transport.settimeout(
+                    self.timeout if remaining is None
+                    else min(self.timeout, remaining)
+                )
+                self.transport.sendall(data)
+                line = self.transport.readline()
+                if not line:
+                    raise TransportError(
+                        "server closed the connection mid-request"
+                    )
+            except socket.timeout as exc:
+                self.transport.close()
+                self._note_failure()
+                budget = remaining if remaining is not None \
+                    else self.timeout
+                raise ServerTimeout(
+                    f"no response within {budget}s"
+                ) from exc
+            except (ConnectionError, OSError) as exc:
+                self.transport.close()
+                self._note_failure()
+                last_error = exc
+                if attempt == attempts - 1:
+                    break
+                delay = self.retry.delay(attempt)
+                if remaining is not None:
+                    delay = min(delay, max(0.0, remaining))
+                time.sleep(delay)
+                continue
+            try:
+                response = json.loads(line)
+            except ValueError as exc:
+                self.transport.close()
+                self._note_failure()
+                raise ProtocolError(
+                    f"garbled response frame: {line[:80]!r}"
+                ) from exc
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return response
+        raise TransportError(
+            f"request failed after {attempts} attempt(s): {last_error}"
+        ) from last_error
+
+    def _note_failure(self):
+        self.transport_errors += 1
+        if self.breaker is not None:
+            self.breaker.record_failure()
+
+    # -- operations ----------------------------------------------------
+    @staticmethod
+    def _job_dict(spec):
+        return spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+
+    def submit(self, spec, nonce=None, deadline=None):
+        """Enqueue without waiting; returns the submit response
+        (``job_id`` on success, ``error`` on rejection)."""
+        payload = {"op": "submit", "job": self._job_dict(spec)}
+        if nonce:
+            payload["nonce"] = nonce
+        return self.request(payload, deadline=deadline)
+
+    def wait(self, job_id, deadline=None):
+        """Block until ``job_id`` completes; returns its record."""
+        return self.request({"op": "wait", "job_id": job_id},
+                            deadline=deadline)
+
+    def run(self, spec, deadline=None, retry_overloaded=True):
+        """Submit + wait in one round-trip, honouring overload
+        backpressure: an ``overloaded`` envelope (rejected or shed)
+        triggers a ``retry_after``-guided sleep and a resubmit with a
+        fresh nonce."""
+        start = time.monotonic()
+        deadline = self.deadline if deadline is None else deadline
+        attempt = 0
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - (time.monotonic() - start)
+                if remaining <= 0:
+                    raise ServerTimeout(
+                        f"deadline of {deadline}s exhausted waiting "
+                        "out backpressure"
+                    )
+            record = self.request(
+                {"op": "run", "job": self._job_dict(spec)},
+                deadline=remaining,
+            )
+            if not (retry_overloaded and record.get("overloaded")):
+                return record
+            if attempt >= max(self.retry.retries, 1) * 4:
+                return record   # give the caller the honest envelope
+            self.backpressure_waits += 1
+            hint = record.get("retry_after")
+            try:
+                wait = float(hint)
+            except (TypeError, ValueError):
+                wait = self.retry.delay(attempt)
+            wait = min(max(0.01, wait), self.retry.backoff_cap)
+            if remaining is not None:
+                wait = min(wait, max(0.0, remaining))
+            time.sleep(wait)
+            attempt += 1
+
+    def result(self, job_id, deadline=None):
+        """Non-blocking completion query."""
+        return self.request({"op": "result", "job_id": job_id},
+                            deadline=deadline)
+
+    def stats(self, deadline=None):
+        return self.request({"op": "stats"},
+                            deadline=deadline)["stats"]
+
+    def ping(self, deadline=None):
+        return self.request({"op": "ping"},
+                            deadline=deadline).get("ok", False)
+
+    def shutdown(self):
+        """Ask the server to stop (returns its acknowledgement)."""
+        try:
+            return self.request({"op": "shutdown"})
+        finally:
+            self.close()
+
+    def close(self):
+        self.transport.close()
 
     def __enter__(self):
         return self

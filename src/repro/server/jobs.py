@@ -359,6 +359,10 @@ def _run_noop(spec, compiled_payload):
     duration = float(spec.options.get("duration", 0.0))
     if duration > 0:
         time.sleep(duration)
+    if spec.options.get("fail"):
+        # Deterministic failure path for robustness tests: exercises
+        # the worker-error branch without a real broken workload.
+        raise RuntimeError(f"noop asked to fail: {spec.options['fail']}")
     return ({"slept": duration}, {"ok": True, "slept": duration},
             "ok", {})
 

@@ -5,9 +5,9 @@ One :class:`CompileServer` owns an :class:`~repro.server.store
 requests over TCP:
 
 ```
-{"op": "submit", "job": {...JobSpec...}}   -> {"ok", "job_id", "state"}
+{"op": "submit", "job": {...JobSpec...}, "nonce": "..."}  -> {"ok", "job_id", "state"}
 {"op": "wait",   "job_id": "..."}          -> completion record
-{"op": "run",    "job": {...}}             -> submit + wait, one trip
+{"op": "run",    "job": {...}, "nonce": "..."} -> submit + wait, one trip
 {"op": "stats"}                            -> store/queue/counter stats
 {"op": "ping"} / {"op": "shutdown"}
 ```
@@ -24,12 +24,30 @@ Scheduling:
   read.
 * **Coalescing** — a submit whose key is already queued/running
   attaches to the in-flight job instead of duplicating the work.
+* **Idempotent retries (nonces)** — a ``submit``/``run`` may carry a
+  client-generated ``nonce``; a retry with the same nonce attaches to
+  the job the first delivery created instead of re-enqueueing (and
+  re-counting tenant quota). This is what makes a dropped connection
+  *after* the server processed a submit safe to retry blindly.
 * **Priority queue** — pending jobs order by ``(priority, seq)``;
   lower priority values run sooner, FIFO within a priority.
 * **Per-tenant quotas** — each tenant may hold at most ``tenant_quota``
   queued+running jobs; submits beyond that are rejected with
   ``error: "quota-exceeded"`` (cache hits and coalesced attaches are
   free and never rejected).
+* **Load shedding** — with ``max_queue_depth`` set, a submit against a
+  full queue is rejected with an honest ``overloaded`` envelope
+  carrying a ``retry_after`` hint derived from the observed service
+  time. Shedding is priority-aware: a higher-priority submit may
+  displace (shed) the lowest-priority queued job, whose waiter then
+  receives the same overloaded envelope and is expected to back off
+  and resubmit.
+* **Durable journal** — every accepted job is appended (fsync'd) to an
+  append-only WAL (:mod:`repro.server.journal`) *before* the ack is
+  sent. On startup the server replays the journal and re-enqueues
+  accepted-but-unfinished jobs under their original ids (completing
+  instantly from the store when the artifact was already published),
+  so ``kill -9`` never loses an acked job.
 * **Sharded resilient workers** — computed jobs dispatch to
   ``workers`` single-process shards (forked ``ProcessPoolExecutor``s),
   shard chosen by key digest so identical keys serialize onto the same
@@ -45,6 +63,7 @@ import base64
 import heapq
 import itertools
 import json
+import os
 import pickle
 import time
 from collections import OrderedDict
@@ -59,6 +78,7 @@ from repro.server.jobs import (
     execute_job,
     job_key,
 )
+from repro.server.journal import JobJournal, recover_state
 from repro.server.store import ArtifactStore
 
 __all__ = ["CompileServer", "BackgroundServer", "serve"]
@@ -66,29 +86,44 @@ __all__ = ["CompileServer", "BackgroundServer", "serve"]
 _PROTOCOL_VERSION = 1
 #: Completed jobs kept around for late ``wait``/``result`` queries.
 _COMPLETED_RETENTION = 1024
+#: Client nonces remembered for idempotent-retry attachment.
+_NONCE_RETENTION = 4096
+#: Journal file name, resolved inside the store root.
+JOURNAL_BASENAME = "journal.jsonl"
+
+
+class _Overloaded(Exception):
+    """Admission rejected by load shedding; carries the envelope."""
+
+    def __init__(self, envelope):
+        super().__init__(envelope.get("error", "overloaded"))
+        self.envelope = envelope
 
 
 class _Job:
     __slots__ = ("job_id", "spec", "key", "state", "future", "cached",
-                 "exec_seq", "error", "record")
+                 "exec_seq", "error", "record", "nonce", "journaled")
 
     def __init__(self, job_id, spec, key, future):
         self.job_id = job_id
         self.spec = spec
         self.key = key          # None for uncacheable kinds
-        self.state = "queued"   # queued | running | done | failed
+        self.state = "queued"   # queued | running | done | failed | shed
         self.future = future    # resolves to the completion record
         self.cached = False
         self.exec_seq = None    # server-wide execution order stamp
         self.error = None
         self.record = None
+        self.nonce = None
+        self.journaled = False
 
 
 class CompileServer:
     """The asyncio job server. Construct, then ``await start()``."""
 
     def __init__(self, store, workers=1, eval_timeout=None,
-                 tenant_quota=8, telemetry=None):
+                 tenant_quota=8, telemetry=None, journal=True,
+                 journal_fsync=True, max_queue_depth=None):
         if not isinstance(store, ArtifactStore):
             raise TypeError("store must be an ArtifactStore")
         self.store = store
@@ -96,6 +131,16 @@ class CompileServer:
         self.eval_timeout = eval_timeout
         self.tenant_quota = tenant_quota
         self.telemetry = telemetry
+        self.max_queue_depth = max_queue_depth
+        if journal is True:
+            self.journal = JobJournal(
+                os.path.join(store.root, JOURNAL_BASENAME),
+                fsync=journal_fsync, telemetry=telemetry,
+            )
+        elif isinstance(journal, JobJournal):
+            self.journal = journal
+        else:
+            self.journal = None
         self.counters = {}
         self.address = None
         self._tcp_server = None
@@ -107,6 +152,9 @@ class CompileServer:
         self._completed = OrderedDict()   # job_id -> _Job (bounded)
         self._inflight = {}        # key -> _Job, for coalescing
         self._tenant_load = {}     # tenant -> queued+running count
+        self._nonces = OrderedDict()      # nonce -> job_id (bounded)
+        self._queued = 0           # jobs waiting in shard queues
+        self._service_ewma = None  # observed seconds per computed job
         self._shard_queues = []    # per shard: heap of (pri, seq, job)
         self._shard_wakeups = []   # per shard: asyncio.Event
         self._shard_tasks = []
@@ -138,6 +186,10 @@ class CompileServer:
             self._shard_queues.append([])
             self._shard_wakeups.append(asyncio.Event())
             self._pools.append(self._make_pool())
+        # Replay the journal and re-enqueue pending work before
+        # accepting any traffic, so recovered and fresh jobs share one
+        # consistent queue/nonce state.
+        self._recover()
         self._tcp_server = await asyncio.start_server(
             self._handle_connection, host, port
         )
@@ -168,6 +220,8 @@ class CompileServer:
             if pool is not None:
                 pool.shutdown(wait=False, cancel_futures=True)
         self._serial.shutdown(wait=False, cancel_futures=True)
+        if self.journal is not None:
+            self.journal.close()
         self.store.close()
 
     # -- counters ------------------------------------------------------
@@ -176,11 +230,66 @@ class CompileServer:
         if self.telemetry is not None:
             self.telemetry.incr(name, amount)
 
+    # -- journal recovery ----------------------------------------------
+    def _recover(self):
+        """Replay the journal: resume the job-id counter, restore the
+        nonce map, and re-enqueue accepted-but-unfinished jobs under
+        their original ids (cache-checking each key first so already-
+        published artifacts complete instantly)."""
+        if self.journal is None:
+            return
+        records = self.journal.replay()
+        if not records:
+            return
+        state = recover_state(records)
+        self._job_ids = itertools.count(state["max_job_seq"] + 1)
+        for nonce, job_id in state["nonces"].items():
+            self._remember_nonce(nonce, job_id)
+        for record in state["pending"]:
+            try:
+                spec = JobSpec.from_dict(dict(record["spec"]))
+            except (KeyError, TypeError, ValueError):
+                self._incr("journal_recovery_dropped")
+                continue
+            key = job_key(spec) if spec.kind in CACHEABLE_KINDS else None
+            job = _Job(record["job_id"], spec, key,
+                       self._loop.create_future())
+            job.journaled = True
+            job.nonce = record.get("nonce")
+            if key is not None:
+                envelope = self.store.get(key)
+                if envelope is not self.store.MISS:
+                    # The artifact was published before the crash cut
+                    # off the finished record: complete instantly.
+                    job.cached = True
+                    self._incr("journal_recovered_cached")
+                    self._finish(job, envelope["status"],
+                                 artifact=envelope["artifact"],
+                                 summary=envelope["summary"],
+                                 seconds=0.0)
+                    continue
+            self._enqueue(job)
+            self._incr("journal_recovered_jobs")
+
     # -- admission -----------------------------------------------------
-    def submit(self, spec):
+    def submit(self, spec, nonce=None):
         """Admit one job; returns the :class:`_Job` (possibly already
-        complete on a cache hit) or raises ``ValueError`` on quota."""
+        complete on a cache hit), raises ``ValueError`` on quota, or
+        raises :class:`_Overloaded` when load shedding rejects."""
+        job = self._admit(spec, nonce)
+        if nonce:
+            # Every admission outcome (fresh, cache hit, coalesced,
+            # attach) maps the nonce so the next retry finds this job.
+            self._remember_nonce(nonce, job.job_id)
+        return job
+
+    def _admit(self, spec, nonce):
         self._incr("server_submits")
+        if nonce:
+            attached = self._nonce_job(nonce)
+            if attached is not None:
+                self._incr("server_nonce_attach")
+                return attached
         key = job_key(spec) if spec.kind in CACHEABLE_KINDS else None
         if key is not None:
             inflight = self._inflight.get(key)
@@ -205,19 +314,64 @@ class CompileServer:
                 f"quota-exceeded: tenant {spec.tenant!r} already has "
                 f"{load} jobs in flight (quota {self.tenant_quota})"
             )
+        if self.max_queue_depth is not None \
+                and self._queued >= self.max_queue_depth:
+            victim = self._shed_candidate()
+            if victim is not None \
+                    and spec.priority < victim.spec.priority:
+                # Priority-aware shedding: the lowest-priority queued
+                # job yields its slot to the more urgent admission.
+                self._shed(victim)
+            else:
+                self._incr("server_shed_rejects")
+                raise _Overloaded(self._overload_envelope())
         job = _Job(f"job-{next(self._job_ids)}", spec, key,
                    self._loop.create_future())
+        job.nonce = nonce
+        if self.journal is not None:
+            job.journaled = True
+            self.journal.append({
+                "event": "accepted",
+                "job_id": job.job_id,
+                "key": self.store.key_digest(key)
+                if key is not None else None,
+                "spec": spec.to_dict(),
+                "nonce": nonce,
+            })
+        self._enqueue(job)
+        self._incr("server_enqueued")
+        return job
+
+    def _enqueue(self, job):
+        spec = job.spec
         self._active[job.job_id] = job
-        if key is not None:
-            self._inflight[key] = job
-        self._tenant_load[spec.tenant] = load + 1
-        shard = self._shard_of(key, job.job_id)
+        if job.key is not None and job.key not in self._inflight:
+            self._inflight[job.key] = job
+        self._tenant_load[spec.tenant] = \
+            self._tenant_load.get(spec.tenant, 0) + 1
+        shard = self._shard_of(job.key, job.job_id)
         heapq.heappush(
             self._shard_queues[shard],
             (spec.priority, next(self._queue_seq), job),
         )
+        self._queued += 1
         self._shard_wakeups[shard].set()
-        self._incr("server_enqueued")
+
+    def _remember_nonce(self, nonce, job_id):
+        self._nonces[nonce] = job_id
+        self._nonces.move_to_end(nonce)
+        while len(self._nonces) > _NONCE_RETENTION:
+            self._nonces.popitem(last=False)
+
+    def _nonce_job(self, nonce):
+        job_id = self._nonces.get(nonce)
+        if job_id is None:
+            return None
+        job = self._find_job(job_id)
+        if job is None or job.state == "shed":
+            # A shed (or long-evicted) job is not a usable attachment:
+            # the retry must be admitted fresh.
+            return None
         return job
 
     def _shard_of(self, key, job_id):
@@ -225,6 +379,50 @@ class CompileServer:
             return hash(job_id) % self._shard_count()
         return int(self.store.key_digest(key)[:8], 16) \
             % self._shard_count()
+
+    # -- load shedding -------------------------------------------------
+    def _shed_candidate(self):
+        """The lowest-priority queued job (latest seq breaks ties)."""
+        worst = None
+        for queue in self._shard_queues:
+            for priority, seq, job in queue:
+                if job.state != "queued":
+                    continue
+                rank = (priority, seq)
+                if worst is None or rank > worst[0]:
+                    worst = (rank, job)
+        return None if worst is None else worst[1]
+
+    def _shed(self, job):
+        """Fail a queued job with the overloaded envelope; its heap
+        entry is skipped lazily by the shard runner."""
+        self._incr("server_shed")
+        self._queued -= 1
+        envelope = self._overload_envelope()
+        self._finish(job, "shed",
+                     error="overloaded: shed for a higher-priority "
+                           "admission",
+                     extra={"overloaded": True,
+                            "retry_after": envelope["retry_after"]})
+
+    def _retry_after(self):
+        """An honest backoff hint: observed seconds per computed job
+        times the current backlog, spread over the shards."""
+        per_job = self._service_ewma \
+            if self._service_ewma is not None else 0.1
+        backlog = max(1, len(self._active))
+        hint = per_job * backlog / self._shard_count()
+        return round(min(30.0, max(0.05, hint)), 3)
+
+    def _overload_envelope(self):
+        return {
+            "ok": False,
+            "error": "overloaded",
+            "overloaded": True,
+            "retry_after": self._retry_after(),
+            "queued": self._queued,
+            "max_queue_depth": self.max_queue_depth,
+        }
 
     # -- execution -----------------------------------------------------
     async def _shard_runner(self, shard):
@@ -235,11 +433,32 @@ class CompileServer:
                 wakeup.clear()
                 await wakeup.wait()
             _, _, job = heapq.heappop(queue)
+            if job.state != "queued":
+                continue   # shed while waiting; already finished
+            self._queued -= 1
             await self._run_job(shard, job)
 
     async def _run_job(self, shard, job):
+        if job.key is not None:
+            # Re-check the cache at execution time: a recovered twin or
+            # an earlier queue entry with the same key may have
+            # published the artifact while this job waited.
+            envelope = self.store.get(job.key)
+            if envelope is not self.store.MISS:
+                self._incr("server_cache_hits_late")
+                job.cached = True
+                self._finish(job, envelope["status"],
+                             artifact=envelope["artifact"],
+                             summary=envelope["summary"], seconds=0.0)
+                return
         job.state = "running"
         job.exec_seq = next(self._exec_seq)
+        if job.journaled and self.journal is not None:
+            self.journal.append({
+                "event": "started",
+                "job_id": job.job_id,
+                "exec_seq": job.exec_seq,
+            })
         spec = job.spec
         compiled_payload = None
         if spec.kind == "simulate":
@@ -315,10 +534,13 @@ class CompileServer:
         self._pools[shard] = self._make_pool()
 
     def _finish(self, job, status, artifact=None, summary=None,
-                seconds=0.0, error=None):
-        job.state = status if status in ("done", "failed") else (
-            "done" if status == "ok" else "failed"
-        )
+                seconds=0.0, error=None, extra=None):
+        if status == "shed":
+            job.state = "shed"
+        elif status in ("done", "failed"):
+            job.state = status
+        else:
+            job.state = "done" if status == "ok" else "failed"
         job.error = error
         record = {
             "ok": job.state == "done",
@@ -332,12 +554,19 @@ class CompileServer:
         }
         if error is not None:
             record["error"] = error
+        if extra:
+            record.update(extra)
         if artifact is not None or job.state == "done":
             record["artifact_b64"] = base64.b64encode(
                 pickle.dumps(artifact, protocol=4)
             ).decode("ascii")
             record["digest"] = artifact_digest(artifact)
         job.record = record
+        if not job.cached and job.state in ("done", "failed") \
+                and seconds > 0:
+            self._service_ewma = seconds \
+                if self._service_ewma is None \
+                else 0.8 * self._service_ewma + 0.2 * seconds
         # Bookkeeping for jobs that actually occupied the queue.
         if job.job_id in self._active:
             del self._active[job.job_id]
@@ -350,11 +579,24 @@ class CompileServer:
         if job.key is not None and \
                 self._inflight.get(job.key) is job:
             del self._inflight[job.key]
+        if job.journaled and self.journal is not None:
+            self.journal.append({
+                "event": "finished",
+                "job_id": job.job_id,
+                "key": self.store.key_digest(job.key)
+                if job.key is not None else None,
+                "status": status,
+                "cached": job.cached,
+                "digest": record.get("digest"),
+            })
         self._completed[job.job_id] = job
         while len(self._completed) > _COMPLETED_RETENTION:
             self._completed.popitem(last=False)
-        self._incr("server_jobs_done" if job.state == "done"
-                   else "server_jobs_failed")
+        if job.state == "shed":
+            self._incr("server_jobs_shed")
+        else:
+            self._incr("server_jobs_done" if job.state == "done"
+                       else "server_jobs_failed")
         if self.telemetry is not None:
             self.telemetry.event({
                 "type": "job", "job_id": job.job_id,
@@ -371,6 +613,12 @@ class CompileServer:
             while True:
                 line = await reader.readline()
                 if not line:
+                    break
+                if not line.endswith(b"\n"):
+                    # A frame cut off mid-write (chaos, crash, partial
+                    # send): never act on it — the client will retry
+                    # the whole request, and its nonce deduplicates.
+                    self._incr("server_torn_frames")
                     break
                 try:
                     request = json.loads(line)
@@ -430,7 +678,9 @@ class CompileServer:
     def _submit_from(self, request):
         try:
             spec = JobSpec.from_dict(request.get("job") or {})
-            return self.submit(spec)
+            return self.submit(spec, nonce=request.get("nonce"))
+        except _Overloaded as exc:
+            return exc.envelope
         except (TypeError, ValueError) as exc:
             return {"ok": False, "error": str(exc)}
 
@@ -442,23 +692,30 @@ class CompileServer:
             "address": list(self.address) if self.address else None,
             "workers": self.workers,
             "tenant_quota": self.tenant_quota,
-            "queued": sum(len(q) for q in self._shard_queues),
+            "max_queue_depth": self.max_queue_depth,
+            "queued": self._queued,
             "active": len(self._active),
+            "service_ewma_s": self._service_ewma,
             "tenants": dict(sorted(self._tenant_load.items())),
             "counters": dict(sorted(self.counters.items())),
             "store": self.store.stats(),
+            "journal": self.journal.stats()
+            if self.journal is not None else None,
         }
 
 
 # -- embedding helpers -------------------------------------------------
 async def serve(store, host="127.0.0.1", port=0, workers=1,
                 eval_timeout=None, tenant_quota=8, telemetry=None,
+                journal=True, journal_fsync=True, max_queue_depth=None,
                 ready=None):
     """Run a server until a ``shutdown`` op (or cancellation).
     ``ready(address)`` is called once listening."""
     server = CompileServer(
         store, workers=workers, eval_timeout=eval_timeout,
         tenant_quota=tenant_quota, telemetry=telemetry,
+        journal=journal, journal_fsync=journal_fsync,
+        max_queue_depth=max_queue_depth,
     )
     address = await server.start(host, port)
     if ready is not None:
@@ -483,7 +740,8 @@ class BackgroundServer:
 
     def __init__(self, store_root, workers=0, eval_timeout=None,
                  tenant_quota=8, max_entries=None, max_bytes=None,
-                 telemetry=None):
+                 telemetry=None, journal=True, journal_fsync=True,
+                 max_queue_depth=None):
         import threading
 
         self._started = threading.Event()
@@ -504,6 +762,8 @@ class BackgroundServer:
                 self.server = CompileServer(
                     store, workers=workers, eval_timeout=eval_timeout,
                     tenant_quota=tenant_quota, telemetry=telemetry,
+                    journal=journal, journal_fsync=journal_fsync,
+                    max_queue_depth=max_queue_depth,
                 )
                 self.address = loop.run_until_complete(
                     self.server.start()

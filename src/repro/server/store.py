@@ -110,6 +110,7 @@ class ArtifactStore:
         self.misses = 0
         self.evictions = 0
         self.torn_dropped = 0
+        self.orphans_collected = 0
         self._load_index()
 
     # -- index lifecycle ----------------------------------------------
@@ -158,6 +159,8 @@ class ArtifactStore:
             ):
                 try:
                     os.unlink(os.path.join(self._objects_dir, name))
+                    self.orphans_collected += 1
+                    self._incr("store_orphans_collected")
                 except OSError:
                     pass
         if dropped or not os.path.exists(self._index_path):
@@ -329,4 +332,5 @@ class ArtifactStore:
             "misses": self.misses,
             "evictions": self.evictions,
             "torn_dropped": self.torn_dropped,
+            "orphans_collected": self.orphans_collected,
         }

@@ -1,0 +1,208 @@
+"""Unit tests for the durable job journal: CRC framing, torn-tail
+truncation vs. real-corruption detection, recovery folding, the
+zero-duplicate-executions auditor, and operator compaction."""
+
+import os
+
+import pytest
+
+from repro.errors import JournalError
+from repro.server.journal import (
+    JobJournal,
+    read_journal,
+    recover_state,
+    verify_journal,
+)
+
+
+def _path(tmp_path):
+    return str(tmp_path / "journal.jsonl")
+
+
+def _accepted(n, nonce=None, key=None):
+    return {"event": "accepted", "job_id": f"job-{n}", "key": key,
+            "spec": {"kind": "noop", "options": {"n": n}},
+            "nonce": nonce}
+
+
+def _finished(n, key=None, cached=False):
+    return {"event": "finished", "job_id": f"job-{n}", "key": key,
+            "status": "ok", "cached": cached, "digest": f"d{n}"}
+
+
+def _write(path, records, fsync=True):
+    with JobJournal(path, fsync=fsync) as journal:
+        for record in records:
+            journal.append(record)
+
+
+class TestFraming:
+    def test_roundtrip_in_order(self, tmp_path):
+        path = _path(tmp_path)
+        records = [_accepted(1, nonce="n1"),
+                   {"event": "started", "job_id": "job-1"},
+                   _finished(1)]
+        _write(path, records)
+        got, torn = read_journal(path)
+        assert got == records
+        assert torn == 0
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_journal(_path(tmp_path)) == ([], 0)
+
+    def test_append_rejects_unknown_event(self, tmp_path):
+        with JobJournal(_path(tmp_path)) as journal:
+            with pytest.raises(JournalError):
+                journal.append({"event": "exploded", "job_id": "job-1"})
+
+    def test_torn_tail_garbage_truncated(self, tmp_path):
+        path = _path(tmp_path)
+        _write(path, [_accepted(1), _accepted(2)])
+        good_size = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(b"0000007f 12ab")  # crash wrote a frame prefix
+        records, torn = read_journal(path)
+        assert len(records) == 2 and torn > 0
+        # repair=True truncates back to the last valid record.
+        read_journal(path, repair=True)
+        assert os.path.getsize(path) == good_size
+        assert read_journal(path) == ([_accepted(1), _accepted(2)], 0)
+
+    def test_torn_tail_partial_record_truncated(self, tmp_path):
+        path = _path(tmp_path)
+        _write(path, [_accepted(1), _accepted(2), _accepted(3)])
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 5)   # cut the last record mid-frame
+        records, torn = read_journal(path, repair=True)
+        assert [r["job_id"] for r in records] == ["job-1", "job-2"]
+        assert torn > 0
+        # The file is clean after repair and appendable again.
+        with JobJournal(path) as journal:
+            assert len(journal.replay()) == 2
+            journal.append(_accepted(3))
+        assert len(read_journal(path)[0]) == 3
+
+    def test_corruption_before_tail_raises(self, tmp_path):
+        path = _path(tmp_path)
+        _write(path, [_accepted(1), _accepted(2)])
+        data = bytearray(open(path, "rb").read())
+        # Flip a payload byte of the FIRST record (CRC now mismatches)
+        # while the second record stays valid behind it.
+        data[30] ^= 0x01
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        with pytest.raises(JournalError):
+            read_journal(path)
+        # ...and repair must not silently destroy it either.
+        with pytest.raises(JournalError):
+            read_journal(path, repair=True)
+
+    def test_crc_catches_tamper_in_last_record(self, tmp_path):
+        path = _path(tmp_path)
+        _write(path, [_accepted(1)])
+        data = bytearray(open(path, "rb").read())
+        data[-3] ^= 0x01        # same length, wrong bits, newline kept
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        records, torn = read_journal(path)
+        assert records == [] and torn > 0   # treated as a torn tail
+
+
+class TestRecoverState:
+    def test_pending_order_and_counters(self):
+        records = [
+            _accepted(1, nonce="n1"),
+            _accepted(2, nonce="n2"),
+            {"event": "started", "job_id": "job-1"},
+            _finished(1),
+            _accepted(5, nonce="n5"),
+        ]
+        state = recover_state(records)
+        assert [r["job_id"] for r in state["pending"]] \
+            == ["job-2", "job-5"]
+        assert state["max_job_seq"] == 5
+        assert state["nonces"] == {"n1": "job-1", "n2": "job-2",
+                                   "n5": "job-5"}
+
+    def test_started_without_finished_stays_pending(self):
+        records = [_accepted(1),
+                   {"event": "started", "job_id": "job-1"}]
+        state = recover_state(records)
+        assert [r["job_id"] for r in state["pending"]] == ["job-1"]
+
+    def test_empty(self):
+        state = recover_state([])
+        assert state == {"pending": [], "max_job_seq": 0,
+                         "nonces": {}}
+
+
+class TestVerifyJournal:
+    def test_clean_run(self, tmp_path):
+        path = _path(tmp_path)
+        _write(path, [_accepted(1, key="k1"),
+                      {"event": "started", "job_id": "job-1"},
+                      _finished(1, key="k1")])
+        summary = verify_journal(path)
+        assert summary["ok"]
+        assert summary["accepted"] == 1
+        assert summary["finished"] == 1
+        assert summary["pending"] == []
+        assert summary["duplicate_computed_finishes"] == []
+
+    def test_cached_finishes_are_not_duplicates(self, tmp_path):
+        path = _path(tmp_path)
+        _write(path, [
+            _accepted(1, key="k1"), _finished(1, key="k1"),
+            _accepted(2, key="k1"), _finished(2, key="k1", cached=True),
+            _accepted(3, key="k1"), _finished(3, key="k1", cached=True),
+        ])
+        summary = verify_journal(path)
+        assert summary["ok"]
+        assert summary["duplicate_computed_finishes"] == []
+
+    def test_two_computed_finishes_flagged(self, tmp_path):
+        path = _path(tmp_path)
+        _write(path, [
+            _accepted(1, key="k1"), _finished(1, key="k1"),
+            _accepted(2, key="k1"), _finished(2, key="k1"),
+        ])
+        summary = verify_journal(path)
+        assert not summary["ok"]
+        assert summary["duplicate_computed_finishes"] == ["k1"]
+
+    def test_pending_and_torn_reported(self, tmp_path):
+        path = _path(tmp_path)
+        _write(path, [_accepted(1), _accepted(2), _finished(1)])
+        with open(path, "ab") as handle:
+            handle.write(b"torn")
+        summary = verify_journal(path)
+        assert summary["pending"] == ["job-2"]
+        assert summary["torn_bytes"] > 0
+        assert not summary["ok"]
+
+
+class TestCompactAndStats:
+    def test_compact_keeps_only_given_records(self, tmp_path):
+        path = _path(tmp_path)
+        _write(path, [_accepted(1), _finished(1),
+                      _accepted(2), _accepted(3)])
+        records, _ = read_journal(path)
+        keep = recover_state(records)["pending"]
+        with JobJournal(path) as journal:
+            journal.compact(keep)
+        got, torn = read_journal(path)
+        assert [r["job_id"] for r in got] == ["job-2", "job-3"]
+        assert torn == 0
+
+    def test_stats_and_replay_counters(self, tmp_path):
+        path = _path(tmp_path)
+        journal = JobJournal(path, fsync=False)
+        journal.append(_accepted(1))
+        journal.append(_finished(1))
+        assert journal.stats()["appends"] == 2
+        journal.close()
+        reopened = JobJournal(path)
+        assert len(reopened.replay()) == 2
+        assert reopened.stats()["replayed"] == 2
+        reopened.close()

@@ -30,6 +30,9 @@ from repro.server import (
     job_key,
     parse_address,
 )
+from repro.server.client import RetryPolicy
+from repro.server.journal import JobJournal, verify_journal
+from repro.server.server import JOURNAL_BASENAME
 from repro.sim import simulate
 from repro.utils.fingerprint import canonical_dumps, content_digest
 from repro.utils.rng import DeterministicRng
@@ -581,3 +584,215 @@ class TestCrashSafety:
         envelope = store.get(job_key(spec))
         assert envelope is not store.MISS
         assert artifact_digest(envelope["artifact"]) == record["digest"]
+
+
+# ---------------------------------------------------------------------
+# Journal-backed crash recovery (kill -9 mid-queue)
+# ---------------------------------------------------------------------
+class TestJournalRecovery:
+    def test_kill_9_mid_queue_loses_no_acked_jobs(self, tmp_path):
+        """SIGKILL the server with acked-but-unfinished jobs queued;
+        a restart on the same store must replay the journal, finish
+        every acked job under its original id, and produce digests
+        bit-identical to an uninterrupted direct compile."""
+        store_root = str(tmp_path / "store")
+        proc, address = _start_cli_server(store_root)
+        acks = []
+        try:
+            with ServerClient(*address) as client:
+                for seed in (0, 1):
+                    response = client.submit(_spec("compile",
+                                                   seed=seed))
+                    assert response["ok"], response
+                    acks.append(response["job_id"])
+            # The acks are durable (fsync-before-ack); kill now, with
+            # both jobs still queued or mid-compile.
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        proc, address = _start_cli_server(store_root)
+        records = {}
+        try:
+            with ServerClient(*address) as client:
+                for seed, job_id in zip((0, 1), acks):
+                    record = client.wait(job_id)
+                    assert record["ok"], record
+                    records[seed] = record
+                counters = client.stats()["counters"]
+                recovered = (
+                    counters.get("journal_recovered_jobs", 0)
+                    + counters.get("journal_recovered_cached", 0)
+                )
+                assert recovered == 2
+                client.shutdown()
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        # Zero lost acked jobs, zero duplicate computed executions.
+        summary = verify_journal(
+            os.path.join(store_root, JOURNAL_BASENAME)
+        )
+        assert summary["pending"] == []
+        assert summary["duplicate_computed_finishes"] == []
+        # Bit-identical to the uninterrupted computation.
+        for seed in (0, 1):
+            direct = compile_kernel(
+                make_kernel("mm", SCALE),
+                topologies.PRESETS["softbrain"](),
+                rng=DeterministicRng(seed), max_iters=ITERS,
+                attempts=3,
+            )
+            assert records[seed]["digest"] == artifact_digest(direct)
+
+
+# ---------------------------------------------------------------------
+# Load shedding and backpressure
+# ---------------------------------------------------------------------
+class TestLoadShedding:
+    def test_overload_envelope_and_inflight_completion(self, tmp_path):
+        """Past max_queue_depth the server answers with an honest
+        overload envelope (never a silent drop), and everything it
+        already accepted still completes."""
+        with BackgroundServer(str(tmp_path / "s"), workers=0,
+                              max_queue_depth=2) as bg:
+            with ServerClient(*bg.address) as client:
+                blocker = client.submit(_noop("blocker", 0.6))
+                time.sleep(0.15)            # let it start running
+                queued = [client.submit(_noop(f"q{i}"))
+                          for i in range(2)]
+                assert all(q["ok"] for q in queued)
+                rejected = client.request({
+                    "op": "submit",
+                    "job": _noop("extra").to_dict(),
+                })
+                assert not rejected["ok"]
+                assert rejected["overloaded"]
+                assert rejected["error"] == "overloaded"
+                assert rejected["retry_after"] > 0
+                assert rejected["queued"] == 2
+                assert rejected["max_queue_depth"] == 2
+                assert client.wait(blocker["job_id"])["ok"]
+                for ack in queued:
+                    assert client.wait(ack["job_id"])["ok"]
+                counters = client.stats()["counters"]
+                assert counters["server_shed_rejects"] == 1
+                assert "server_shed" not in counters
+
+    def test_high_priority_displaces_lowest_queued(self, tmp_path):
+        """Shedding is priority-aware: a strictly-better admission
+        evicts the worst queued job, which finishes with an honest
+        shed record rather than vanishing."""
+        with BackgroundServer(str(tmp_path / "s"), workers=0,
+                              max_queue_depth=2) as bg:
+            with ServerClient(*bg.address) as client:
+                blocker = client.submit(_noop("blocker", 0.6))
+                time.sleep(0.15)
+                low1 = client.submit(_noop("low1", 0.0, priority=10))
+                low2 = client.submit(_noop("low2", 0.0, priority=10))
+                high = client.submit(_noop("high", 0.0, priority=0))
+                assert high["ok"]
+                # The later of the two equal-priority jobs was shed.
+                shed = client.wait(low2["job_id"])
+                assert shed["state"] == "shed"
+                assert not shed["ok"]
+                assert shed["overloaded"]
+                assert shed["retry_after"] > 0
+                assert client.wait(blocker["job_id"])["ok"]
+                assert client.wait(low1["job_id"])["ok"]
+                assert client.wait(high["job_id"])["ok"]
+                counters = client.stats()["counters"]
+                assert counters["server_shed"] == 1
+                assert counters["server_jobs_shed"] == 1
+
+    def test_run_backs_off_and_recovers(self, tmp_path):
+        """client.run() absorbs overload envelopes: it backs off by
+        the server's retry_after hint and completes once the queue
+        drains."""
+        with BackgroundServer(str(tmp_path / "s"), workers=0,
+                              max_queue_depth=1) as bg:
+            client = ServerClient(
+                *bg.address,
+                retry=RetryPolicy(retries=8, backoff_base=0.02,
+                                  backoff_cap=0.1, jitter_seed=0),
+            )
+            blocker = client.submit(_noop("blocker", 0.3))
+            time.sleep(0.1)
+            filler = client.submit(_noop("filler", 0.1))
+            assert filler["ok"]
+            record = client.run(_noop("pushed", 0.0))
+            assert record["ok"], record
+            assert client.backpressure_waits >= 1
+            assert client.wait(blocker["job_id"])["ok"]
+            stats = client.stats()
+            assert stats["counters"]["server_shed_rejects"] >= 1
+            assert stats["max_queue_depth"] == 1
+            client.close()
+
+
+# ---------------------------------------------------------------------
+# `repro store fsck` CLI
+# ---------------------------------------------------------------------
+class TestStoreFsckCli:
+    @staticmethod
+    def _fsck(store_root, *extra):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "store", "fsck",
+             "--store", store_root, *extra],
+            env={**os.environ, "PYTHONPATH": "src"}, cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=120,
+        )
+
+    def test_fsck_flags_corruption_and_gc_compacts(self, tmp_path):
+        store_root = str(tmp_path / "store")
+        store = ArtifactStore(store_root)
+        store.put(canonical_dumps(("obj", 1)),
+                  {"artifact": b"payload-one"})
+        store.put(canonical_dumps(("obj", 2)),
+                  {"artifact": b"payload-two"})
+        store.close()
+        with JobJournal(os.path.join(store_root,
+                                     JOURNAL_BASENAME)) as journal:
+            journal.append({"event": "accepted", "job_id": "job-1",
+                            "key": "k1", "spec": {"kind": "noop"},
+                            "nonce": None})
+            journal.append({"event": "finished", "job_id": "job-1",
+                            "key": "k1", "status": "ok",
+                            "cached": False, "digest": "d1"})
+            journal.append({"event": "accepted", "job_id": "job-2",
+                            "key": "k2", "spec": {"kind": "noop"},
+                            "nonce": None})
+        clean = self._fsck(store_root)
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+        report = json.loads(clean.stdout)
+        assert report["ok"]
+        assert report["dropped_objects"] == []
+        assert report["journal"]["pending"] == ["job-2"]
+        # Bit-flip one object payload on disk.
+        objects = os.path.join(store_root, "objects")
+        victim = os.path.join(objects, sorted(os.listdir(objects))[0])
+        blob = bytearray(open(victim, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        with open(victim, "wb") as handle:
+            handle.write(bytes(blob))
+        damaged = self._fsck(store_root)
+        assert damaged.returncode == 1
+        report = json.loads(damaged.stdout)
+        assert not report["ok"]
+        assert len(report["dropped_objects"]) == 1
+        assert report["store"]["entries"] == 1
+        # fsck dropped the damaged entry; --gc also compacts the
+        # journal down to its pending records.
+        collected = self._fsck(store_root, "--gc")
+        assert collected.returncode == 0
+        report = json.loads(collected.stdout)
+        assert report["ok"]
+        assert report["journal_compacted"] == {"kept_records": 1,
+                                               "dropped_records": 2}
+        summary = verify_journal(
+            os.path.join(store_root, JOURNAL_BASENAME)
+        )
+        assert summary["pending"] == ["job-2"]
+        assert summary["records"] == 1
